@@ -1,0 +1,136 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation from the implementation, then runs Bechamel
+   micro-benchmarks of the substrate. Sections:
+
+     Table 1    - bug study classification
+     Table 2    - testbed of reproducible bugs, symptoms, helpful tools
+     Figure 2   - SignalCat + monitor resource overhead vs. buffer size
+     Figure 3   - LossCheck overhead normalized to platform capacity
+     6.3        - tool effectiveness (localization, generated code, FSM
+                  detection accuracy, false-positive filtering)
+     6.4        - frequency closure before/after instrumentation
+     micro      - Bechamel benchmarks of parser/simulator/analyses *)
+
+module Report = Fpga_report.Report
+module Bug = Fpga_testbed.Bug
+module Registry = Fpga_testbed.Registry
+module Recipe = Fpga_testbed.Recipe
+
+let header = Report.header
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let microbench () =
+  header "Micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let d2 = Option.get (Registry.find "D2") in
+  let d2_design = Bug.design_of d2 ~buggy:true in
+  let parse_test =
+    Test.make ~name:"parse grayscale"
+      (Staged.stage (fun () ->
+           ignore (Fpga_hdl.Parser.parse_design d2.Bug.buggy_src)))
+  in
+  let elaborate_test =
+    Test.make ~name:"elaborate grayscale"
+      (Staged.stage (fun () ->
+           ignore (Fpga_sim.Elaborate.elaborate d2_design ~top:"grayscale")))
+  in
+  let simulate_test =
+    Test.make ~name:"simulate grayscale 100 cycles"
+      (Staged.stage (fun () ->
+           let sim = Fpga_sim.Testbench.of_design ~top:"grayscale" d2_design in
+           for i = 0 to 99 do
+             List.iter
+               (fun (n, v) -> Fpga_sim.Simulator.set_input sim n v)
+               (d2.Bug.stimulus i);
+             Fpga_sim.Simulator.step sim
+           done))
+  in
+  let m = Option.get (Fpga_hdl.Ast.find_module d2_design "grayscale") in
+  let losscheck_static_test =
+    Test.make ~name:"losscheck static analysis"
+      (Staged.stage (fun () ->
+           let spec = Option.get d2.Bug.loss_spec in
+           ignore (Fpga_debug.Losscheck.analyze spec m)))
+  in
+  let fsm_detect_test =
+    Test.make ~name:"fsm detection"
+      (Staged.stage (fun () -> ignore (Fpga_analysis.Fsm_detect.detect m)))
+  in
+  let instrument_test =
+    Test.make ~name:"full recipe instrumentation"
+      (Staged.stage (fun () -> ignore (Recipe.apply ~buffer_depth:1024 d2)))
+  in
+  (* scaling: simulated cycles over generated pipelines of growing depth *)
+  let pipeline_src n =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      "module pipe (input clk, input [7:0] d, output [7:0] q);\n";
+    for i = 1 to n do
+      Buffer.add_string buf (Printf.sprintf "  reg [7:0] s%d;\n" i)
+    done;
+    Buffer.add_string buf (Printf.sprintf "  assign q = s%d;\n" n);
+    Buffer.add_string buf "  always @(posedge clk) begin\n    s1 <= d;\n";
+    for i = 2 to n do
+      Buffer.add_string buf (Printf.sprintf "    s%d <= s%d + 8'd1;\n" i (i - 1))
+    done;
+    Buffer.add_string buf "  end\nendmodule\n";
+    Buffer.contents buf
+  in
+  let scaling_tests =
+    List.map
+      (fun n ->
+        let design = Fpga_hdl.Parser.parse_design (pipeline_src n) in
+        Test.make ~name:(Printf.sprintf "simulate %d-stage pipeline, 50 cycles" n)
+          (Staged.stage (fun () ->
+               let sim = Fpga_sim.Testbench.of_design ~top:"pipe" design in
+               for i = 0 to 49 do
+                 Fpga_sim.Simulator.set_input_int sim "d" (i land 0xFF);
+                 Fpga_sim.Simulator.step sim
+               done)))
+      [ 10; 50; 100 ]
+  in
+  let tests =
+    [
+      parse_test; elaborate_test; simulate_test; losscheck_static_test;
+      fsm_detect_test; instrument_test;
+    ]
+    @ scaling_tests
+  in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let benchmark test =
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+    Benchmark.all cfg [ clock ] test
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name raw ->
+          let ols =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              clock raw
+          in
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-36s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "%-36s (no estimate)\n" name)
+        results)
+    tests
+
+let () =
+  Report.table1 ();
+  Report.table2 ();
+  Report.extended_testbed ();
+  Report.figure2 ();
+  Report.figure3 ();
+  Report.effectiveness ();
+  Report.frequency ();
+  Report.ablations ();
+  (match Sys.getenv_opt "SKIP_MICROBENCH" with
+  | Some _ -> print_endline "\n(micro-benchmarks skipped)"
+  | None -> microbench ());
+  print_endline "\nDone. See EXPERIMENTS.md for the paper-vs-measured record."

@@ -1,0 +1,649 @@
+(* fpga-debug: command-line front end for the testbed and the tools.
+
+   Mirrors the paper artifact's push-button workflow:
+
+     fpga-debug list                      enumerate the testbed
+     fpga-debug repro D2                  reproduce a bug's symptoms
+     fpga-debug fsm D2                    FSM Monitor trace
+     fpga-debug stats D2                  Statistics Monitor counters
+     fpga-debug deps D5                   Dependency Monitor chain
+     fpga-debug losscheck D2              LossCheck localization
+     fpga-debug instrument D2 -o out.v    emit the instrumented Verilog
+     fpga-debug vcd D2 -o wave.vcd        dump a waveform of the buggy run
+     fpga-debug report table1|table2|fig2|fig3|effectiveness|freq *)
+
+open Cmdliner
+module Ast = Fpga_hdl.Ast
+module Bug = Fpga_testbed.Bug
+module Registry = Fpga_testbed.Registry
+module Taxonomy = Fpga_study.Taxonomy
+
+let find_bug id =
+  let id = String.uppercase_ascii id in
+  match
+    List.find_opt
+      (fun (b : Bug.t) -> b.Bug.id = id)
+      Registry.all_with_extended
+  with
+  | Some bug -> bug
+  | None ->
+      Printf.eprintf "unknown bug %s; try `fpga-debug list`\n" id;
+      exit 1
+
+let bug_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BUG" ~doc:"Testbed bug id (e.g. D2)")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file")
+
+let buffer_arg =
+  Arg.(value & opt int 8192 & info [ "buffer" ] ~docv:"DEPTH" ~doc:"Recording buffer depth (power of two)")
+
+(* --- list ----------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "List the reproducible bugs of the testbed." in
+  let run () =
+    List.iter
+      (fun (b : Bug.t) ->
+        Printf.printf "%-4s %-28s %-22s %s\n" b.Bug.id
+          (Taxonomy.subclass_name b.Bug.subclass)
+          b.Bug.application b.Bug.description)
+      Registry.all_with_extended
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- repro ---------------------------------------------------------- *)
+
+let repro_cmd =
+  let doc = "Reproduce a bug push-button and report its symptoms." in
+  let run id =
+    let bug = find_bug id in
+    Printf.printf "%s: %s (%s)\n" bug.Bug.id bug.Bug.description
+      bug.Bug.application;
+    let observed = Bug.observed_symptoms bug in
+    Printf.printf "expected symptoms: %s\n"
+      (String.concat ", " (List.map Taxonomy.symptom_name bug.Bug.symptoms));
+    Printf.printf "observed symptoms: %s\n"
+      (String.concat ", " (List.map Taxonomy.symptom_name observed));
+    Printf.printf "reproduces: %b\n" (Bug.reproduces bug);
+    let report = Bug.run bug ~buggy:true in
+    if report.Bug.log <> [] then (
+      print_endline "design log:";
+      List.iter
+        (fun (c, t) -> Printf.printf "  [cycle %d] %s\n" c t)
+        report.Bug.log)
+  in
+  Cmd.v (Cmd.info "repro" ~doc) Term.(const run $ bug_arg)
+
+(* --- fsm ------------------------------------------------------------ *)
+
+let fsm_cmd =
+  let doc =
+    "Run FSM Monitor on a bug's design and print the trace. --extra \
+     forces registers the heuristics missed in; --exclude filters false \
+     or irrelevant detections out (the section 4.2 patch facility)."
+  in
+  let extra_arg =
+    Arg.(value & opt_all string [] & info [ "extra" ] ~docv:"SIG" ~doc:"Force a register in")
+  in
+  let exclude_arg =
+    Arg.(value & opt_all string [] & info [ "exclude" ] ~docv:"SIG" ~doc:"Filter a detection out")
+  in
+  let run id extra exclude =
+    let bug = find_bug id in
+    let design = Bug.design_of bug ~buggy:true in
+    let m = Option.get (Ast.find_module design bug.Bug.top) in
+    let plan = Fpga_debug.Fsm_monitor.plan ~extra ~exclude m in
+    if plan.Fpga_debug.Fsm_monitor.fsms = [] then
+      print_endline "no FSMs detected in this design"
+    else (
+      let instrumented = Fpga_debug.Fsm_monitor.instrument plan m in
+      let design' =
+        { Ast.modules =
+            List.map (fun x -> if x == m then instrumented else x) design.Ast.modules }
+      in
+      let report = Bug.run_design bug design' in
+      List.iter
+        (fun tr ->
+          print_endline (Fpga_debug.Fsm_monitor.transition_to_string tr))
+        (Fpga_debug.Fsm_monitor.transitions plan report.Bug.log);
+      List.iter
+        (fun (v, s) -> Printf.printf "final state of %s: %s\n" v s)
+        (Fpga_debug.Fsm_monitor.final_states plan report.Bug.log))
+  in
+  Cmd.v (Cmd.info "fsm" ~doc) Term.(const run $ bug_arg $ extra_arg $ exclude_arg)
+
+(* --- stats ---------------------------------------------------------- *)
+
+let stats_cmd =
+  let doc = "Run Statistics Monitor with the bug's event set." in
+  let run id =
+    let bug = find_bug id in
+    let design = Bug.design_of bug ~buggy:true in
+    let m = Option.get (Ast.find_module design bug.Bug.top) in
+    let events =
+      List.map
+        (fun (name, signal) ->
+          { Fpga_debug.Stat_monitor.event_name = name; trigger = Ast.Ident signal })
+        bug.Bug.stat_events
+    in
+    let plan = Fpga_debug.Stat_monitor.plan m events in
+    let instrumented = Fpga_debug.Stat_monitor.instrument plan m in
+    let design' =
+      { Ast.modules =
+          List.map (fun x -> if x == m then instrumented else x) design.Ast.modules }
+    in
+    let sim = Fpga_sim.Testbench.of_design ~top:bug.Bug.top design' in
+    let _ = Fpga_sim.Testbench.run ~max_cycles:bug.Bug.max_cycles sim bug.Bug.stimulus in
+    List.iter
+      (fun (name, n) -> Printf.printf "%-20s %d\n" name n)
+      (Fpga_debug.Stat_monitor.counts plan sim)
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ bug_arg)
+
+(* --- deps ----------------------------------------------------------- *)
+
+let deps_cmd =
+  let doc = "Print the dependency chain of the bug's target signal." in
+  let target_arg =
+    Arg.(value & opt (some string) None & info [ "target" ] ~docv:"SIGNAL" ~doc:"Target signal (defaults to the bug's)")
+  in
+  let cycles_arg =
+    Arg.(value & opt int 8 & info [ "cycles" ] ~docv:"K" ~doc:"Backward cycle budget")
+  in
+  let data_only_arg =
+    Arg.(value & flag & info [ "data-only" ] ~doc:"Ignore control dependencies")
+  in
+  let slices_arg =
+    Arg.(value & flag
+         & info [ "slices" ] ~doc:"Split partially-assigned variables (section 4.3)")
+  in
+  let run id target cycles data_only slice_precise =
+    let bug = find_bug id in
+    let design = Bug.design_of bug ~buggy:true in
+    let m = Option.get (Ast.find_module design bug.Bug.top) in
+    let target =
+      match (target, bug.Bug.dep_target) with
+      | Some t, _ -> t
+      | None, Some t -> t
+      | None, None ->
+          prerr_endline "no dependency target; pass --target";
+          exit 1
+    in
+    let plan =
+      Fpga_debug.Dep_monitor.analyze ~design ~data_only ~slice_precise ~target
+        ~cycles m
+    in
+    Printf.printf "dependency chain of %s within %d cycles:\n" target cycles;
+    List.iter (fun s -> Printf.printf "  %s\n" s) plan.Fpga_debug.Dep_monitor.chain;
+    (* run with monitoring and show the update trace *)
+    let instrumented = Fpga_debug.Dep_monitor.instrument plan m in
+    let design' =
+      { Ast.modules =
+          List.map (fun x -> if x == m then instrumented else x) design.Ast.modules }
+    in
+    let report = Bug.run_design bug design' in
+    print_endline "update trace:";
+    List.iter
+      (fun u -> Printf.printf "  %s\n" (Fpga_debug.Dep_monitor.update_to_string u))
+      (Fpga_debug.Dep_monitor.updates plan report.Bug.log)
+  in
+  Cmd.v (Cmd.info "deps" ~doc)
+    Term.(const run $ bug_arg $ target_arg $ cycles_arg $ data_only_arg $ slices_arg)
+
+(* --- losscheck ------------------------------------------------------ *)
+
+let losscheck_cmd =
+  let doc =
+    "Localize data loss with LossCheck. The target is a testbed bug id, \
+     or a Verilog file together with --top, --source, --valid, --sink \
+     and a --stim file (the '@CYCLE sig=value' format of the sim \
+     command)."
+  in
+  let top_arg =
+    Arg.(value & opt string "top" & info [ "top" ] ~docv:"MODULE" ~doc:"Top module (file mode)")
+  in
+  let source_arg =
+    Arg.(value & opt (some string) None & info [ "source" ] ~docv:"SIG" ~doc:"Source register/input")
+  in
+  let valid_arg =
+    Arg.(value & opt (some string) None & info [ "valid" ] ~docv:"SIG" ~doc:"Source valid signal")
+  in
+  let sink_arg =
+    Arg.(value & opt (some string) None & info [ "sink" ] ~docv:"SIG" ~doc:"Sink register")
+  in
+  let stim_arg =
+    Arg.(value & opt (some string) None & info [ "stim" ] ~docv:"FILE" ~doc:"Stimulus file (file mode)")
+  in
+  let cycles_arg =
+    Arg.(value & opt int 200 & info [ "cycles" ] ~docv:"N" ~doc:"Cycles to run (file mode)")
+  in
+  let print_result (r : Fpga_debug.Losscheck.result) =
+    Printf.printf "generated checking logic: %d lines\n"
+      r.Fpga_debug.Losscheck.generated_loc;
+    List.iter
+      (fun (c, reg) -> Printf.printf "raw alarm at cycle %d: %s\n" c reg)
+      r.Fpga_debug.Losscheck.raw_alarms;
+    List.iter
+      (fun reg -> Printf.printf "suppressed (intentional drop): %s\n" reg)
+      r.Fpga_debug.Losscheck.suppressed;
+    match r.Fpga_debug.Losscheck.reported with
+    | [] -> print_endline "no data loss reported"
+    | regs ->
+        List.iter
+          (fun reg -> Printf.printf "potential data loss at: %s\n" reg)
+          regs
+  in
+  let parse_stim_file path =
+    In_channel.with_open_text path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then None
+           else
+             match String.split_on_char ' ' line with
+             | at :: bindings when String.length at > 1 && at.[0] = '@' ->
+                 Some
+                   ( int_of_string (String.sub at 1 (String.length at - 1)),
+                     List.filter_map
+                       (fun b ->
+                         match String.split_on_char '=' b with
+                         | [ k; v ] when k <> "" -> Some (k, int_of_string v)
+                         | _ -> None)
+                       bindings )
+             | _ -> None)
+  in
+  let run target top source valid sink stim cycles =
+    if Sys.file_exists target then (
+      match (source, valid, sink) with
+      | Some source, Some valid, Some sink ->
+          let design =
+            Fpga_hdl.Parser.parse_design
+              (In_channel.with_open_text target In_channel.input_all)
+          in
+          let table = match stim with Some p -> parse_stim_file p | None -> [] in
+          let stimulus cycle =
+            match List.assoc_opt cycle table with
+            | Some bindings ->
+                List.map
+                  (fun (k, v) ->
+                    let width =
+                      match Fpga_hdl.Ast.find_module design top with
+                      | Some m ->
+                          Option.value (Fpga_hdl.Ast.signal_width m k) ~default:32
+                      | None -> 32
+                    in
+                    (k, Fpga_bits.Bits.of_int ~width v))
+                  bindings
+            | None -> []
+          in
+          let spec =
+            { Fpga_debug.Losscheck.source; valid = Ast.Ident valid; sink }
+          in
+          print_result
+            (Fpga_debug.Losscheck.localize ~max_cycles:cycles ~top ~spec
+               ~stimulus design)
+      | _ ->
+          prerr_endline "file mode needs --source, --valid, and --sink";
+          exit 1)
+    else
+      let bug = find_bug target in
+      match bug.Bug.loss_spec with
+      | None ->
+          Printf.eprintf "%s is not a data-loss bug\n" bug.Bug.id;
+          exit 1
+      | Some spec ->
+          let design = Bug.design_of bug ~buggy:true in
+          print_result
+            (Fpga_debug.Losscheck.localize ~ground_truth:bug.Bug.ground_truth
+               ~max_cycles:bug.Bug.max_cycles ~top:bug.Bug.top ~spec
+               ~stimulus:bug.Bug.stimulus design)
+  in
+  Cmd.v (Cmd.info "losscheck" ~doc)
+    Term.(
+      const run $ bug_arg $ top_arg $ source_arg $ valid_arg $ sink_arg
+      $ stim_arg $ cycles_arg)
+
+(* --- instrument ----------------------------------------------------- *)
+
+let instrument_cmd =
+  let doc =
+    "Apply the bug's debug recipe (monitors + SignalCat) and emit the \
+     instrumented Verilog."
+  in
+  let run id out buffer =
+    let bug = find_bug id in
+    let r = Fpga_testbed.Recipe.apply ~buffer_depth:buffer bug in
+    let text = Fpga_hdl.Pp_verilog.module_to_string r.Fpga_testbed.Recipe.on_fpga in
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s (%d lines; %d monitor + %d recording lines added)\n"
+          path
+          (List.length (String.split_on_char '\n' text))
+          r.Fpga_testbed.Recipe.monitor_loc r.Fpga_testbed.Recipe.recording_loc
+    | None -> print_string text)
+  in
+  Cmd.v (Cmd.info "instrument" ~doc) Term.(const run $ bug_arg $ out_arg $ buffer_arg)
+
+(* --- vcd ------------------------------------------------------------ *)
+
+let vcd_cmd =
+  let doc = "Run the buggy design and dump a VCD waveform." in
+  let run id out =
+    let bug = find_bug id in
+    let design = Bug.design_of bug ~buggy:true in
+    let flat = Fpga_sim.Elaborate.elaborate design ~top:bug.Bug.top in
+    let sim = Fpga_sim.Simulator.create flat in
+    let vcd = Fpga_sim.Vcd.create flat in
+    for i = 0 to bug.Bug.max_cycles - 1 do
+      List.iter
+        (fun (n, v) -> Fpga_sim.Simulator.set_input sim n v)
+        (bug.Bug.stimulus i);
+      Fpga_sim.Simulator.step sim;
+      Fpga_sim.Vcd.sample vcd sim
+    done;
+    let path = Option.value out ~default:(bug.Bug.id ^ ".vcd") in
+    Fpga_sim.Vcd.save vcd path;
+    Printf.printf "wrote %s (%d cycles)\n" path bug.Bug.max_cycles
+  in
+  Cmd.v (Cmd.info "vcd" ~doc) Term.(const run $ bug_arg $ out_arg)
+
+(* --- lint ------------------------------------------------------------ *)
+
+let lint_cmd =
+  let doc = "Run the structural linter over a testbed bug or a Verilog file." in
+  let target_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"BUG|FILE" ~doc:"Testbed bug id or path to a .v file")
+  in
+  let run target =
+    let design =
+      if Sys.file_exists target then
+        Fpga_hdl.Parser.parse_design (In_channel.with_open_text target In_channel.input_all)
+      else Bug.design_of (find_bug target) ~buggy:true
+    in
+    List.iter
+      (fun (mod_name, findings) ->
+        if findings <> [] then (
+          Printf.printf "module %s:\n" mod_name;
+          List.iter
+            (fun f ->
+              Printf.printf "  %s\n" (Fpga_analysis.Lint.finding_to_string f))
+            findings))
+      (Fpga_analysis.Lint.check_design design)
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ target_arg)
+
+(* --- wavediff --------------------------------------------------------- *)
+
+let wavediff_cmd =
+  let doc =
+    "Capture waveforms of the buggy and fixed runs and report where they \
+     first diverge."
+  in
+  let run id =
+    let bug = find_bug id in
+    let signals =
+      (* observe the design's output ports *)
+      let design = Bug.design_of bug ~buggy:true in
+      let m = Option.get (Ast.find_module design bug.Bug.top) in
+      List.filter_map
+        (fun (p : Ast.port) ->
+          if p.Ast.dir = Ast.Output then Some p.Ast.port_name else None)
+        m.Ast.ports
+    in
+    let cap ~buggy =
+      Fpga_sim.Waveform.capture ~max_cycles:bug.Bug.max_cycles ~top:bug.Bug.top
+        ~signals (Bug.design_of bug ~buggy) bug.Bug.stimulus
+    in
+    let buggy = cap ~buggy:true and fixed = cap ~buggy:false in
+    (match Fpga_sim.Waveform.first_divergence buggy fixed with
+    | Some d ->
+        Printf.printf "first divergence (buggy vs fixed): %s\n"
+          (Fpga_sim.Waveform.divergence_to_string d);
+        let from_cycle = max 0 (d.Fpga_sim.Waveform.cycle - 4) in
+        print_endline "buggy run around the divergence:";
+        print_string (Fpga_sim.Waveform.render ~from_cycle ~cycles:16 buggy);
+        print_endline "fixed run around the divergence:";
+        print_string (Fpga_sim.Waveform.render ~from_cycle ~cycles:16 fixed)
+    | None -> print_endline "the runs never diverge on the output ports")
+  in
+  Cmd.v (Cmd.info "wavediff" ~doc) Term.(const run $ bug_arg)
+
+(* --- snippets ---------------------------------------------------------- *)
+
+let snippets_cmd =
+  let doc = "Show the explanatory buggy/fixed snippet for a bug subclass." in
+  let which_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"SUBCLASS" ~doc:"Subclass name fragment (e.g. overflow); omit to list all")
+  in
+  let run which =
+    let module S = Fpga_study.Snippets in
+    let contains hay needle =
+      let hay = String.lowercase_ascii hay and needle = String.lowercase_ascii needle in
+      let n = String.length needle and h = String.length hay in
+      let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    match which with
+    | None ->
+        List.iter
+          (fun (s : S.t) ->
+            Printf.printf "%-28s %s\n"
+              (Fpga_study.Taxonomy.subclass_name s.S.subclass)
+              s.S.title)
+          S.all
+    | Some fragment -> (
+        match
+          List.find_opt
+            (fun (s : S.t) ->
+              contains (Fpga_study.Taxonomy.subclass_name s.S.subclass) fragment)
+            S.all
+        with
+        | None -> Printf.eprintf "no snippet matches %s\n" fragment
+        | Some s ->
+            Printf.printf "== %s: %s ==\n%s\n" 
+              (Fpga_study.Taxonomy.subclass_name s.S.subclass) s.S.title
+              s.S.explanation;
+            print_endline "--- buggy ---";
+            print_string s.S.buggy;
+            print_endline "--- fixed ---";
+            print_string s.S.fixed)
+  in
+  Cmd.v (Cmd.info "snippets" ~doc) Term.(const run $ which_arg)
+
+(* --- sim (user designs) ------------------------------------------------ *)
+
+let sim_cmd =
+  let doc =
+    "Simulate a Verilog file. The optional stimulus file has lines of \
+     the form '@CYCLE sig=value sig=value ...' (values decimal or 0x \
+     hex); bindings persist until overwritten. Watched signals print on \
+     change."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Verilog source")
+  in
+  let top_arg =
+    Arg.(value & opt string "top" & info [ "top" ] ~docv:"MODULE" ~doc:"Top module")
+  in
+  let cycles_arg =
+    Arg.(value & opt int 100 & info [ "cycles" ] ~docv:"N" ~doc:"Cycles to run")
+  in
+  let stim_arg =
+    Arg.(value & opt (some file) None & info [ "stim" ] ~docv:"FILE" ~doc:"Stimulus file")
+  in
+  let watch_arg =
+    Arg.(value & opt (some string) None
+         & info [ "watch" ] ~docv:"SIGS" ~doc:"Comma-separated signals to print (default: outputs)")
+  in
+  let vcd_arg =
+    Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE" ~doc:"Dump a VCD waveform")
+  in
+  let parse_stim path =
+    In_channel.with_open_text path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then None
+           else
+             match String.split_on_char ' ' line with
+             | at :: bindings when String.length at > 1 && at.[0] = '@' ->
+                 let cycle = int_of_string (String.sub at 1 (String.length at - 1)) in
+                 let parsed =
+                   List.filter_map
+                     (fun b ->
+                       match String.split_on_char '=' b with
+                       | [ k; v ] when k <> "" -> Some (k, int_of_string v)
+                       | _ -> None)
+                     bindings
+                 in
+                 Some (cycle, parsed)
+             | _ -> None)
+  in
+  let run file top cycles stim watch vcd_out =
+    let design =
+      Fpga_hdl.Parser.parse_design
+        (In_channel.with_open_text file In_channel.input_all)
+    in
+    let flat = Fpga_sim.Elaborate.elaborate design ~top in
+    let sim = Fpga_sim.Simulator.create flat in
+    let vcd = Option.map (fun _ -> Fpga_sim.Vcd.create flat) vcd_out in
+    let stim_table = match stim with Some p -> parse_stim p | None -> [] in
+    let watched =
+      match watch with
+      | Some s -> String.split_on_char ',' s |> List.map String.trim
+      | None -> List.map fst flat.Fpga_sim.Elaborate.f_outputs
+    in
+    Fpga_sim.Simulator.on_display sim (fun c t ->
+        Printf.printf "[cycle %d] %s\n" c t);
+    let prev = Hashtbl.create 8 in
+    for i = 0 to cycles - 1 do
+      (match List.assoc_opt i stim_table with
+      | Some bindings ->
+          List.iter
+            (fun (k, v) -> Fpga_sim.Simulator.set_input_int sim k v)
+            bindings
+      | None -> ());
+      Fpga_sim.Simulator.step sim;
+      Option.iter (fun w -> Fpga_sim.Vcd.sample w sim) vcd;
+      List.iter
+        (fun sig_ ->
+          let v = Fpga_sim.Simulator.read_int sim sig_ in
+          let changed =
+            match Hashtbl.find_opt prev sig_ with
+            | Some p -> p <> v
+            | None -> true
+          in
+          if changed then (
+            Hashtbl.replace prev sig_ v;
+            Printf.printf "cycle %3d: %s = %d\n" i sig_ v))
+        watched
+    done;
+    (match (vcd, vcd_out) with
+    | Some w, Some path ->
+        Fpga_sim.Vcd.save w path;
+        Printf.printf "wrote %s\n" path
+    | _ -> ());
+    if Fpga_sim.Simulator.finished sim then print_endline "design executed $finish"
+  in
+  Cmd.v (Cmd.info "sim" ~doc)
+    Term.(const run $ file_arg $ top_arg $ cycles_arg $ stim_arg $ watch_arg $ vcd_arg)
+
+(* --- export ----------------------------------------------------------- *)
+
+let export_cmd =
+  let doc =
+    "Write every testbed bug's buggy and fixed Verilog (and the subclass \
+     snippets) to a directory, like the paper's artifact layout."
+  in
+  let dir_arg =
+    Arg.(value & opt string "testbed-export"
+         & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory")
+  in
+  let run dir =
+    let write path text =
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc
+    in
+    let mkdir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
+    mkdir dir;
+    List.iter
+      (fun (b : Bug.t) ->
+        write (Filename.concat dir (b.Bug.id ^ "_buggy.v")) b.Bug.buggy_src;
+        write (Filename.concat dir (b.Bug.id ^ "_fixed.v")) b.Bug.fixed_src)
+      Registry.all_with_extended;
+    let snip_dir = Filename.concat dir "snippets" in
+    mkdir snip_dir;
+    List.iter
+      (fun (s : Fpga_study.Snippets.t) ->
+        let slug =
+          String.map
+            (fun c -> if c = ' ' || c = '-' then '_' else Char.lowercase_ascii c)
+            (Fpga_study.Taxonomy.subclass_name s.Fpga_study.Snippets.subclass)
+        in
+        write (Filename.concat snip_dir (slug ^ "_buggy.v"))
+          s.Fpga_study.Snippets.buggy;
+        write (Filename.concat snip_dir (slug ^ "_fixed.v"))
+          s.Fpga_study.Snippets.fixed)
+      Fpga_study.Snippets.all;
+    Printf.printf "wrote %d designs and %d snippets under %s/\n"
+      (2 * List.length Registry.all_with_extended)
+      (2 * List.length Fpga_study.Snippets.all)
+      dir
+  in
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ dir_arg)
+
+(* --- report --------------------------------------------------------- *)
+
+let report_cmd =
+  let doc = "Regenerate a table or figure from the paper's evaluation." in
+  let which_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum
+                       [ ("table1", `T1); ("table2", `T2); ("fig2", `F2);
+                         ("fig3", `F3); ("effectiveness", `Eff); ("freq", `Freq);
+                         ("ablations", `Abl); ("all", `All) ]))
+          None
+      & info [] ~docv:"REPORT"
+          ~doc:"table1|table2|fig2|fig3|effectiveness|freq|ablations|all")
+  in
+  let run which =
+    let module R = Fpga_report.Report in
+    match which with
+    | `T1 -> R.table1 ()
+    | `T2 -> R.table2 ()
+    | `F2 -> R.figure2 ()
+    | `F3 -> R.figure3 ()
+    | `Eff -> R.effectiveness ()
+    | `Freq -> R.frequency ()
+    | `Abl -> R.ablations ()
+    | `All ->
+        R.table1 ();
+        R.table2 ();
+        R.figure2 ();
+        R.figure3 ();
+        R.effectiveness ();
+        R.frequency ();
+        R.ablations ()
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ which_arg)
+
+let () =
+  let doc = "software-style debugging tools for FPGA designs (ASPLOS '22 reproduction)" in
+  let info = Cmd.info "fpga-debug" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; repro_cmd; fsm_cmd; stats_cmd; deps_cmd; losscheck_cmd;
+            instrument_cmd; vcd_cmd; lint_cmd; wavediff_cmd; snippets_cmd;
+            export_cmd; sim_cmd; report_cmd;
+          ]))

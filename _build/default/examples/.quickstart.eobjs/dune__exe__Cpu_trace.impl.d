@@ -1,0 +1,1 @@
+examples/cpu_trace.ml: Fpga_debug Fpga_hdl Fpga_testbed List Option Printf

@@ -1,0 +1,1 @@
+examples/fifo_data_loss.ml: Fpga_debug Fpga_hdl Fpga_testbed List Option Printf String

@@ -1,0 +1,1 @@
+examples/fsm_trace_demo.ml: Fpga_analysis Fpga_debug Fpga_hdl Fpga_testbed List Option Printf String

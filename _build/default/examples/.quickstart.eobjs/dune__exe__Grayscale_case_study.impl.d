@@ -1,0 +1,1 @@
+examples/grayscale_case_study.ml: Fpga_analysis Fpga_debug Fpga_hdl Fpga_sim Fpga_testbed List Option Printf String

@@ -1,0 +1,1 @@
+examples/grayscale_case_study.mli:

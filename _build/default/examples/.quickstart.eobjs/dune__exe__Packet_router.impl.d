@@ -1,0 +1,1 @@
+examples/packet_router.ml: Fpga_bits Fpga_debug Fpga_hdl Fpga_sim List Option Printf String

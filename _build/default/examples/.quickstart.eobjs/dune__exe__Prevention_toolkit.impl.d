@@ -1,0 +1,1 @@
+examples/prevention_toolkit.ml: Fpga_analysis Fpga_hdl Fpga_sim Fpga_testbed List Printf

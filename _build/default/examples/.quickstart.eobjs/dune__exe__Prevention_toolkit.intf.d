@@ -1,0 +1,1 @@
+examples/prevention_toolkit.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fpga_bits Fpga_debug Fpga_hdl Fpga_sim List Printf

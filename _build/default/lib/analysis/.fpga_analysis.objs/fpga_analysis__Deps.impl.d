@@ -1,0 +1,1 @@
+lib/analysis/deps.ml: Fpga_hdl Hashtbl List Option Path_constraint Printf String

@@ -1,0 +1,1 @@
+lib/analysis/deps.mli: Fpga_hdl

@@ -1,0 +1,1 @@
+lib/analysis/fsm_detect.ml: Fpga_bits Fpga_hdl Int List Option Path_constraint String

@@ -1,0 +1,1 @@
+lib/analysis/fsm_detect.mli: Fpga_bits Fpga_hdl

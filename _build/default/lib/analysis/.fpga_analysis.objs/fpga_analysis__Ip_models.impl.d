@@ -1,0 +1,1 @@
+lib/analysis/ip_models.ml: Deps Fpga_hdl List Printf Propagation

@@ -1,0 +1,1 @@
+lib/analysis/ip_models.mli: Deps Fpga_hdl Propagation

@@ -1,0 +1,1 @@
+lib/analysis/path_constraint.ml: Fpga_hdl List

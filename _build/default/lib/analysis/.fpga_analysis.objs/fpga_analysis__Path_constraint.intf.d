@@ -1,0 +1,1 @@
+lib/analysis/path_constraint.mli: Fpga_hdl

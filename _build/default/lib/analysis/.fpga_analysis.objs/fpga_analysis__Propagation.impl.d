@@ -1,0 +1,1 @@
+lib/analysis/propagation.ml: Fpga_hdl Hashtbl List Path_constraint Printf String

@@ -1,0 +1,1 @@
+lib/analysis/propagation.mli: Fpga_hdl

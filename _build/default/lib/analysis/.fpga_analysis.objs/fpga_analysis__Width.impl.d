@@ -1,0 +1,1 @@
+lib/analysis/width.ml: Fpga_bits Fpga_hdl List

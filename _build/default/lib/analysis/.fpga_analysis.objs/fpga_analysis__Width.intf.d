@@ -1,0 +1,1 @@
+lib/analysis/width.mli: Fpga_hdl

@@ -1,0 +1,167 @@
+(* FSM detection heuristics (section 4.2).
+
+   A register is reported as an FSM state variable when:
+   - every assignment to it has a constant right-hand side (a literal, a
+     localparam, or the register itself), and at least one assignment is
+     conditional;
+   - it appears in the path constraint of at least one of its own
+     assignments (state transitions depend on the current state);
+   - the design never applies arithmetic to it and never selects
+     individual bits of it.
+
+   As in the paper these heuristics can produce false negatives (e.g.
+   counters used as implicit states are rejected by the no-arithmetic
+   rule); detected FSMs can be patched by the developer via the
+   [extra]/[exclude] arguments of FSM Monitor. *)
+
+module Ast = Fpga_hdl.Ast
+module Bits = Fpga_bits.Bits
+
+type fsm = {
+  state_var : string;
+  width : int;
+  (* constant state values assigned to the variable *)
+  states : Bits.t list;
+  (* value |-> localparam name, for readable traces *)
+  state_names : (Bits.t * string) list;
+}
+
+(* Is [e] a constant in module [m] (literal or localparam)? *)
+let constant_value (m : Ast.module_def) (e : Ast.expr) : Bits.t option =
+  match e with
+  | Ast.Const b -> Some b
+  | Ast.Ident n -> List.assoc_opt n m.Ast.localparams
+  | _ -> None
+
+(* Does [name] appear as an operand of arithmetic, or bit-selected,
+   anywhere in the module? *)
+let rec arithmetic_use name (e : Ast.expr) : bool =
+  let uses_name sub = List.mem name (Ast.expr_reads sub) in
+  match e with
+  | Ast.Const _ | Ast.Ident _ -> false
+  | Ast.Index (n, i) -> n = name || arithmetic_use name i
+  | Ast.Range (n, _, _) -> n = name
+  | Ast.Unop (Ast.Neg, a) -> uses_name a || arithmetic_use name a
+  | Ast.Unop (_, a) -> arithmetic_use name a
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod), a, b) ->
+      uses_name a || uses_name b || arithmetic_use name a || arithmetic_use name b
+  | Ast.Binop (_, a, b) -> arithmetic_use name a || arithmetic_use name b
+  | Ast.Cond (c, a, b) ->
+      arithmetic_use name c || arithmetic_use name a || arithmetic_use name b
+  | Ast.Concat es -> List.exists (arithmetic_use name) es
+  | Ast.Repeat (_, a) -> arithmetic_use name a
+
+let all_exprs_of_module (m : Ast.module_def) : Ast.expr list =
+  let rec of_stmt s =
+    match s with
+    | Ast.Blocking (l, e) | Ast.Nonblocking (l, e) ->
+        (e :: Ast.(match l with Lindex (_, i) -> [ i ] | _ -> []))
+    | Ast.If (c, t, f) -> (c :: List.concat_map of_stmt t) @ List.concat_map of_stmt f
+    | Ast.Case (e, items, default) ->
+        (e
+        :: List.concat_map
+             (fun (it : Ast.case_item) ->
+               it.Ast.match_exprs @ List.concat_map of_stmt it.Ast.body)
+             items)
+        @ (match default with None -> [] | Some b -> List.concat_map of_stmt b)
+    | Ast.Display (_, args) -> args
+    | Ast.Finish -> []
+  in
+  List.map snd m.Ast.assigns
+  @ List.concat_map (fun (a : Ast.always) -> List.concat_map of_stmt a.Ast.stmts)
+      m.Ast.always_blocks
+
+let detect ?(require_no_arith = true) ?(require_self_condition = true)
+    (m : Ast.module_def) : fsm list =
+  let registers =
+    List.filter_map
+      (fun (d : Ast.decl) ->
+        if d.Ast.kind = Ast.Reg && d.Ast.depth = None then Some d else None)
+      m.Ast.decls
+  in
+  let all_exprs = all_exprs_of_module m in
+  let sequential_assignments =
+    List.concat_map
+      (fun (a : Ast.always) ->
+        match a.Ast.sens with
+        | Ast.Posedge _ | Ast.Negedge _ ->
+            Path_constraint.assignments_of_always a
+        | Ast.Star -> [])
+      m.Ast.always_blocks
+  in
+  List.filter_map
+    (fun (d : Ast.decl) ->
+      let name = d.Ast.name in
+      let own_assignments =
+        List.filter
+          (fun (l, _, _) -> Ast.lvalue_bases l = [ name ])
+          sequential_assignments
+      in
+      if own_assignments = [] then None
+      else
+        let rhs_constants =
+          List.map
+            (fun (_, rhs, _) ->
+              if rhs = Ast.Ident name then Some None  (* self-assignment *)
+              else Option.map Option.some (constant_value m rhs))
+            own_assignments
+        in
+        let all_constant = List.for_all Option.is_some rhs_constants in
+        let states =
+          List.filter_map (function Some (Some b) -> Some b | _ -> None)
+            rhs_constants
+          |> List.sort_uniq compare
+        in
+        let self_in_condition =
+          List.exists
+            (fun (_, _, cond) -> List.mem name (Ast.expr_reads cond))
+            own_assignments
+        in
+        let no_arith = not (List.exists (arithmetic_use name) all_exprs) in
+        let accept =
+          all_constant && states <> []
+          && ((not require_self_condition) || self_in_condition)
+          && ((not require_no_arith) || no_arith)
+        in
+        if accept then
+          (* When several localparams share a value (e.g. RD_IDLE and
+             WR_IDLE both 0), prefer the one whose name shares a prefix
+             with the state variable. *)
+          let prefix_affinity pname =
+            let a = String.lowercase_ascii pname
+            and b = String.lowercase_ascii name in
+            let n = min (String.length a) (String.length b) in
+            let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+            go 0
+          in
+          let state_names =
+            List.filter_map
+              (fun v ->
+                let candidates =
+                  List.filter_map
+                    (fun (pname, pv) ->
+                      if
+                        Bits.equal pv v
+                        || Bits.equal (Bits.resize pv d.Ast.width) v
+                      then Some pname
+                      else None)
+                    m.Ast.localparams
+                in
+                match
+                  List.sort
+                    (fun a b ->
+                      Int.compare (prefix_affinity b) (prefix_affinity a))
+                    candidates
+                with
+                | [] -> None
+                | best :: _ -> Some (v, best))
+              states
+          in
+          Some { state_var = name; width = d.Ast.width; states; state_names }
+        else None)
+    registers
+
+let state_name fsm value =
+  match List.find_opt (fun (v, _) -> Bits.equal v value) fsm.state_names with
+  | Some (_, n) -> n
+  | None -> Bits.to_string value

@@ -1,0 +1,34 @@
+(** FSM detection heuristics (section 4.2).
+
+    A register is reported as an FSM state variable when every
+    assignment to it is a constant (literal, localparam, or itself), it
+    appears in the path constraint of its own assignments, and the
+    design never applies arithmetic to it nor selects its bits.
+
+    As in the paper, the heuristics admit false negatives (e.g. a
+    byte-phase register advanced with [~] or [+1]); FSM Monitor lets
+    the developer patch those in. *)
+
+type fsm = {
+  state_var : string;
+  width : int;
+  states : Fpga_bits.Bits.t list;  (** constant values assigned *)
+  state_names : (Fpga_bits.Bits.t * string) list;
+      (** value -> localparam name; when several localparams share a
+          value, the one sharing a name prefix with the variable wins *)
+}
+
+val detect :
+  ?require_no_arith:bool ->
+  ?require_self_condition:bool ->
+  Fpga_hdl.Ast.module_def ->
+  fsm list
+(** Both heuristic gates default to on; the ablation benchmark switches
+    them off individually to measure their contribution. *)
+
+val state_name : fsm -> Fpga_bits.Bits.t -> string
+(** The symbolic name of a state value, falling back to the literal. *)
+
+val constant_value :
+  Fpga_hdl.Ast.module_def -> Fpga_hdl.Ast.expr -> Fpga_bits.Bits.t option
+(** [Some v] when the expression is a literal or localparam. *)

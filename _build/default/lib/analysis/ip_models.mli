@@ -1,0 +1,25 @@
+(** Dependency and propagation models for closed-source IP blocks
+    (section 5 of the paper).
+
+    A model maps an instance's port connections to the propagation
+    relations and dependency edges the IP induces between the attached
+    nets. Models exist for the three IPs the testbed uses — [scfifo],
+    [dcfifo], and [altsyncram] — mirroring the paper's artifact. *)
+
+exception No_model of string
+
+val supported : string list
+val has_model : string -> bool
+
+val propagation_relations : Fpga_hdl.Ast.instance -> Propagation.relation list
+(** The relations of one IP instance; e.g. a FIFO's data input
+    propagates to its [q] output when [wrreq && !full]. Raises
+    {!No_model} for an unknown non-builtin target. *)
+
+val table_of_module : Fpga_hdl.Ast.module_def -> Propagation.table
+(** {!Propagation.of_module} composed with the builtin IP models. *)
+
+val dependency_edges : Fpga_hdl.Ast.instance -> Deps.edge list
+(** Dependency-graph edges mirroring {!propagation_relations}; empty
+    for unknown targets (Dependency Monitor expands user-module
+    instances from the design instead). *)

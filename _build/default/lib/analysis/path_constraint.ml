@@ -1,0 +1,74 @@
+(* Path-constraint computation: for every leaf statement in an always
+   block, the condition under which control reaches it. SignalCat uses
+   this to trigger recording exactly when an instrumented $display would
+   have fired (section 4.1); LossCheck uses it as the sigma of each
+   propagation relation (section 4.5.1). *)
+
+module Ast = Fpga_hdl.Ast
+
+type 'a annotated = { node : 'a; cond : Ast.expr }
+
+(* Equality test used when building case-item constraints. *)
+let eq_expr scrutinee label = Ast.Binop (Ast.Eq, scrutinee, label)
+
+let rec annotate_stmts (cond : Ast.expr) (stmts : Ast.stmt list) :
+    Ast.stmt annotated list =
+  List.concat_map (annotate_stmt cond) stmts
+
+and annotate_stmt cond (s : Ast.stmt) : Ast.stmt annotated list =
+  match s with
+  | Ast.Blocking _ | Ast.Nonblocking _ | Ast.Display _ | Ast.Finish ->
+      [ { node = s; cond } ]
+  | Ast.If (c, t, f) ->
+      annotate_stmts (Ast.and_expr cond c) t
+      @ annotate_stmts (Ast.and_expr cond (Ast.not_expr c)) f
+  | Ast.Case (scrutinee, items, default) ->
+      let item_conds =
+        List.map
+          (fun (it : Ast.case_item) ->
+            List.fold_left
+              (fun acc label -> Ast.or_expr acc (eq_expr scrutinee label))
+              Ast.false_expr it.Ast.match_exprs)
+          items
+      in
+      let from_items =
+        List.concat (List.map2
+          (fun (it : Ast.case_item) item_cond ->
+            annotate_stmts (Ast.and_expr cond item_cond) it.Ast.body)
+          items item_conds)
+      in
+      let from_default =
+        match default with
+        | None -> []
+        | Some body ->
+            let none_matched =
+              List.fold_left
+                (fun acc c -> Ast.and_expr acc (Ast.not_expr c))
+                Ast.true_expr item_conds
+            in
+            annotate_stmts (Ast.and_expr cond none_matched) body
+      in
+      from_items @ from_default
+
+(* All leaf statements of an always block with their path constraints. *)
+let of_always (a : Ast.always) = annotate_stmts Ast.true_expr a.Ast.stmts
+
+(* Leaf assignments only, as (lvalue, rhs, condition) triples. *)
+let assignments_of_always (a : Ast.always) :
+    (Ast.lvalue * Ast.expr * Ast.expr) list =
+  List.filter_map
+    (fun { node; cond } ->
+      match node with
+      | Ast.Blocking (l, e) | Ast.Nonblocking (l, e) -> Some (l, e, cond)
+      | Ast.Display _ | Ast.Finish | Ast.If _ | Ast.Case _ -> None)
+    (of_always a)
+
+(* Display statements with their path constraints (SignalCat input). *)
+let displays_of_always (a : Ast.always) :
+    (string * Ast.expr list * Ast.expr) list =
+  List.filter_map
+    (fun { node; cond } ->
+      match node with
+      | Ast.Display (fmt, args) -> Some (fmt, args, cond)
+      | _ -> None)
+    (of_always a)

@@ -1,0 +1,32 @@
+(** Path-constraint computation: for every leaf statement of an always
+    block, the condition under which control reaches it.
+
+    SignalCat uses path constraints to trigger recording exactly when
+    an instrumented $display would have fired (section 4.1 of the
+    paper); LossCheck uses them as the sigma of each propagation
+    relation (section 4.5.1). *)
+
+type 'a annotated = { node : 'a; cond : Fpga_hdl.Ast.expr }
+
+val annotate_stmts :
+  Fpga_hdl.Ast.expr ->
+  Fpga_hdl.Ast.stmt list ->
+  Fpga_hdl.Ast.stmt annotated list
+(** [annotate_stmts cond stmts] flattens [stmts] to its leaf statements
+    (assignments, displays, finish), each annotated with the conjunction
+    of [cond] and the conditions guarding it. Case items contribute
+    equality disjunctions over their labels; a default arm contributes
+    the negation of every label. *)
+
+val of_always : Fpga_hdl.Ast.always -> Fpga_hdl.Ast.stmt annotated list
+(** Leaf statements of a whole always block, starting from [true]. *)
+
+val assignments_of_always :
+  Fpga_hdl.Ast.always ->
+  (Fpga_hdl.Ast.lvalue * Fpga_hdl.Ast.expr * Fpga_hdl.Ast.expr) list
+(** The block's assignments as (target, rhs, path constraint). *)
+
+val displays_of_always :
+  Fpga_hdl.Ast.always -> (string * Fpga_hdl.Ast.expr list * Fpga_hdl.Ast.expr) list
+(** The block's $display statements as (format, args, path constraint)
+    — SignalCat's static input. *)

@@ -1,0 +1,53 @@
+(* Static width inference for expressions inside a module, mirroring the
+   simulator's dynamic width rules. Used by SignalCat to size recording
+   buffer fields and by the resource model to cost operators. *)
+
+module Ast = Fpga_hdl.Ast
+module Bits = Fpga_bits.Bits
+
+exception Unknown_width of string
+
+let signal_width (m : Ast.module_def) name =
+  match Ast.signal_width m name with
+  | Some w -> Some w
+  | None -> (
+      match List.assoc_opt name m.Ast.localparams with
+      | Some b -> Some (Bits.width b)
+      | None ->
+          if List.mem_assoc name m.Ast.params then Some 32 else None)
+
+let memory_word_width (m : Ast.module_def) name =
+  match Ast.find_decl m name with
+  | Some { Ast.depth = Some _; width; _ } -> Some width
+  | _ -> None
+
+let rec of_expr (m : Ast.module_def) (e : Ast.expr) : int =
+  match e with
+  | Ast.Const b -> Bits.width b
+  | Ast.Ident n -> (
+      match signal_width m n with
+      | Some w -> w
+      | None -> raise (Unknown_width n))
+  | Ast.Index (n, _) -> (
+      match memory_word_width m n with Some w -> w | None -> 1)
+  | Ast.Range (_, hi, lo) -> hi - lo + 1
+  | Ast.Unop ((Ast.Bnot | Ast.Neg), a) -> of_expr m a
+  | Ast.Unop ((Ast.Lnot | Ast.Rand | Ast.Ror | Ast.Rxor), _) -> 1
+  | Ast.Binop
+      ( ( Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Band | Ast.Bor
+        | Ast.Bxor ),
+        a,
+        b ) ->
+      max (of_expr m a) (of_expr m b)
+  | Ast.Binop ((Ast.Shl | Ast.Shr | Ast.Ashr), a, _) -> of_expr m a
+  | Ast.Binop
+      ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Land | Ast.Lor), _, _)
+    ->
+      1
+  | Ast.Cond (_, a, b) -> max (of_expr m a) (of_expr m b)
+  | Ast.Concat es -> List.fold_left (fun acc x -> acc + of_expr m x) 0 es
+  | Ast.Repeat (n, a) -> n * of_expr m a
+
+let clog2 n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) ((v + 1) / 2) in
+  max 1 (go 0 n)

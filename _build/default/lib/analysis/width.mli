@@ -1,0 +1,19 @@
+(** Static width inference for expressions inside a module, mirroring
+    the simulator's dynamic width rules. SignalCat uses it to size
+    recording-buffer fields; the resource model uses it to cost
+    operators. *)
+
+exception Unknown_width of string
+
+val signal_width : Fpga_hdl.Ast.module_def -> string -> int option
+(** Declared width of a signal, port, localparam (its literal width),
+    or parameter (32). *)
+
+val memory_word_width : Fpga_hdl.Ast.module_def -> string -> int option
+
+val of_expr : Fpga_hdl.Ast.module_def -> Fpga_hdl.Ast.expr -> int
+(** Self-determined width of an expression. Raises {!Unknown_width} on
+    an unbound identifier. *)
+
+val clog2 : int -> int
+(** Ceiling log2, at least 1 — pointer width for an n-entry buffer. *)

@@ -1,0 +1,1 @@
+lib/bits/bits.ml: Array Char Format Int List Printf Seq String

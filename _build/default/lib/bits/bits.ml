@@ -1,0 +1,402 @@
+(* Arbitrary-width bit vectors stored as little-endian arrays of 32-bit
+   limbs packed in OCaml ints. The top limb is always normalized (bits
+   above [width] are zero), so structural equality of normalized values
+   coincides with numeric equality at equal width. *)
+
+let limb_bits = 32
+let limb_mask = 0xFFFFFFFF
+
+type t = { width : int; limbs : int array }
+
+let width t = t.width
+let nlimbs w = (w + limb_bits - 1) / limb_bits
+
+(* Mask that keeps only the valid bits of the top limb. *)
+let top_mask w =
+  let r = w mod limb_bits in
+  if r = 0 then limb_mask else (1 lsl r) - 1
+
+let normalize t =
+  let n = Array.length t.limbs in
+  t.limbs.(n - 1) <- t.limbs.(n - 1) land top_mask t.width;
+  t
+
+let check_width w =
+  if w < 1 then invalid_arg (Printf.sprintf "Bits: width %d < 1" w)
+
+let zero w =
+  check_width w;
+  { width = w; limbs = Array.make (nlimbs w) 0 }
+
+let ones w =
+  check_width w;
+  normalize { width = w; limbs = Array.make (nlimbs w) limb_mask }
+
+let of_int ~width:w n =
+  check_width w;
+  let t = zero w in
+  let n = ref n and i = ref 0 in
+  while !n <> 0 && !i < Array.length t.limbs do
+    t.limbs.(!i) <- !n land limb_mask;
+    (* asr keeps the sign so negative ints fill high limbs with ones *)
+    n := !n asr limb_bits;
+    incr i
+  done;
+  (* Negative values: extend the sign through the remaining limbs. *)
+  if !n = -1 then
+    for j = !i to Array.length t.limbs - 1 do
+      t.limbs.(j) <- limb_mask
+    done;
+  normalize t
+
+let one w = of_int ~width:w 1
+let of_bool b = of_int ~width:1 (if b then 1 else 0)
+
+let bit t i =
+  if i < 0 || i >= t.width then
+    invalid_arg (Printf.sprintf "Bits.bit: index %d out of [0,%d)" i t.width);
+  t.limbs.(i / limb_bits) lsr (i mod limb_bits) land 1 = 1
+
+let set_bit t i b =
+  if i < 0 || i >= t.width then
+    invalid_arg
+      (Printf.sprintf "Bits.set_bit: index %d out of [0,%d)" i t.width);
+  let limbs = Array.copy t.limbs in
+  let j = i / limb_bits and k = i mod limb_bits in
+  if b then limbs.(j) <- limbs.(j) lor (1 lsl k)
+  else limbs.(j) <- limbs.(j) land lnot (1 lsl k);
+  { t with limbs }
+
+let is_zero t = Array.for_all (fun l -> l = 0) t.limbs
+
+let to_int t =
+  if t.width <= 62 then (
+    let acc = ref 0 in
+    for i = Array.length t.limbs - 1 downto 0 do
+      acc := (!acc lsl limb_bits) lor t.limbs.(i)
+    done;
+    !acc)
+  else (
+    (* Wider vector: succeed only if the high bits are all zero. *)
+    for i = t.width - 1 downto 62 do
+      if bit t i then failwith "Bits.to_int: value exceeds 62 bits"
+    done;
+    let acc = ref 0 in
+    let top = min (Array.length t.limbs - 1) 1 in
+    for i = top downto 0 do
+      acc := (!acc lsl limb_bits) lor t.limbs.(i)
+    done;
+    !acc land ((1 lsl 62) - 1))
+
+let to_int_trunc t =
+  let acc = ref 0 in
+  let top = min (Array.length t.limbs - 1) 1 in
+  for i = top downto 0 do
+    acc := (!acc lsl limb_bits) lor t.limbs.(i)
+  done;
+  !acc land ((1 lsl 62) - 1)
+
+let to_signed_int t =
+  if t.width = 1 then if bit t 0 then -1 else 0
+  else if bit t (t.width - 1) then (
+    (* negative: value - 2^width, computed on the complement *)
+    let m = ref 0 in
+    if t.width > 63 then (
+      for i = t.width - 1 downto 62 do
+        if not (bit t i) then failwith "Bits.to_signed_int: does not fit"
+      done);
+    let hi = min (t.width - 1) 61 in
+    for i = hi downto 0 do
+      m := (!m lsl 1) lor (if bit t i then 0 else 1)
+    done;
+    -(!m + 1))
+  else to_int t
+
+let resize t w =
+  check_width w;
+  if w = t.width then t
+  else
+    let r = zero w in
+    let n = min (Array.length t.limbs) (Array.length r.limbs) in
+    Array.blit t.limbs 0 r.limbs 0 n;
+    normalize r
+
+let sign_extend t w =
+  check_width w;
+  if w <= t.width || not (bit t (t.width - 1)) then resize t w
+  else (
+    (* copy the low bits of [t] over an all-ones background *)
+    let r = ref (ones w) in
+    for i = 0 to t.width - 1 do
+      r := set_bit !r i (bit t i)
+    done;
+    !r)
+
+let of_binary_string s =
+  let digits =
+    String.to_seq s |> Seq.filter (fun c -> c <> '_') |> List.of_seq
+  in
+  let w = List.length digits in
+  if w = 0 then invalid_arg "Bits.of_binary_string: empty";
+  let t = ref (zero w) in
+  List.iteri
+    (fun i c ->
+      match c with
+      | '0' -> ()
+      | '1' -> t := set_bit !t (w - 1 - i) true
+      | _ -> invalid_arg "Bits.of_binary_string: bad digit")
+    digits;
+  !t
+
+let shift_left t k =
+  if k < 0 then invalid_arg "Bits.shift_left: negative shift";
+  if k >= t.width then zero t.width
+  else (
+    let r = zero t.width in
+    for i = t.width - 1 downto k do
+      if bit t (i - k) then (
+        let j = i / limb_bits and b = i mod limb_bits in
+        r.limbs.(j) <- r.limbs.(j) lor (1 lsl b))
+    done;
+    normalize r)
+
+let shift_right t k =
+  if k < 0 then invalid_arg "Bits.shift_right: negative shift";
+  if k >= t.width then zero t.width
+  else (
+    let r = zero t.width in
+    for i = 0 to t.width - 1 - k do
+      if bit t (i + k) then (
+        let j = i / limb_bits and b = i mod limb_bits in
+        r.limbs.(j) <- r.limbs.(j) lor (1 lsl b))
+    done;
+    normalize r)
+
+let arith_shift_right t k =
+  if k < 0 then invalid_arg "Bits.arith_shift_right: negative shift";
+  let sign = bit t (t.width - 1) in
+  if not sign then shift_right t k
+  else if k >= t.width then ones t.width
+  else (
+    let r = shift_right t k in
+    let r = ref r in
+    for i = t.width - k to t.width - 1 do
+      r := set_bit !r i true
+    done;
+    !r)
+
+let slice t ~hi ~lo =
+  if lo < 0 || hi >= t.width || hi < lo then
+    invalid_arg
+      (Printf.sprintf "Bits.slice: [%d:%d] out of range for width %d" hi lo
+         t.width);
+  let w = hi - lo + 1 in
+  let r = zero w in
+  for i = 0 to w - 1 do
+    if bit t (lo + i) then (
+      let j = i / limb_bits and b = i mod limb_bits in
+      r.limbs.(j) <- r.limbs.(j) lor (1 lsl b))
+  done;
+  normalize r
+
+let concat parts =
+  match parts with
+  | [] -> invalid_arg "Bits.concat: empty list"
+  | _ ->
+      let w = List.fold_left (fun acc p -> acc + p.width) 0 parts in
+      let r = zero w in
+      (* parts are MSB-first; walk from the LSB end *)
+      let pos = ref 0 in
+      List.iter
+        (fun p ->
+          for i = 0 to p.width - 1 do
+            if bit p i then (
+              let abs = !pos + i in
+              let j = abs / limb_bits and b = abs mod limb_bits in
+              r.limbs.(j) <- r.limbs.(j) lor (1 lsl b))
+          done;
+          pos := !pos + p.width)
+        (List.rev parts);
+      normalize r
+
+let repeat n t =
+  if n < 1 then invalid_arg "Bits.repeat: count < 1";
+  concat (List.init n (fun _ -> t))
+
+let set_slice t ~hi ~lo x =
+  if lo < 0 || hi >= t.width || hi < lo then
+    invalid_arg
+      (Printf.sprintf "Bits.set_slice: [%d:%d] out of range for width %d" hi
+         lo t.width);
+  let x = resize x (hi - lo + 1) in
+  let r = ref t in
+  for i = lo to hi do
+    r := set_bit !r i (bit x (i - lo))
+  done;
+  !r
+
+let require_same_width op a b =
+  if a.width <> b.width then
+    invalid_arg
+      (Printf.sprintf "Bits.%s: width mismatch (%d vs %d)" op a.width b.width)
+
+let add a b =
+  require_same_width "add" a b;
+  let r = zero a.width in
+  let carry = ref 0 in
+  for i = 0 to Array.length a.limbs - 1 do
+    let s = a.limbs.(i) + b.limbs.(i) + !carry in
+    r.limbs.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  normalize r
+
+let sub a b =
+  require_same_width "sub" a b;
+  let r = zero a.width in
+  let borrow = ref 0 in
+  for i = 0 to Array.length a.limbs - 1 do
+    let d = a.limbs.(i) - b.limbs.(i) - !borrow in
+    if d < 0 then (
+      r.limbs.(i) <- d + limb_mask + 1;
+      borrow := 1)
+    else (
+      r.limbs.(i) <- d;
+      borrow := 0)
+  done;
+  normalize r
+
+let neg a = sub (zero a.width) a
+
+let mul a b =
+  require_same_width "mul" a b;
+  (* Shift-and-add; widths in this code base are small (<= 512). *)
+  let acc = ref (zero a.width) in
+  for i = 0 to b.width - 1 do
+    if bit b i then acc := add !acc (shift_left a i)
+  done;
+  !acc
+
+let compare a b =
+  (* unsigned numeric comparison across possibly different widths *)
+  let w = max a.width b.width in
+  let a = resize a w and b = resize b w in
+  let rec go i =
+    if i < 0 then 0
+    else
+      let c = Int.compare a.limbs.(i) b.limbs.(i) in
+      if c <> 0 then c else go (i - 1)
+  in
+  go (Array.length a.limbs - 1)
+
+let equal a b = a.width = b.width && a.limbs = b.limbs
+let equal_value a b = compare a b = 0
+let lt a b = compare a b < 0
+let le a b = compare a b <= 0
+let gt a b = compare a b > 0
+let ge a b = compare a b >= 0
+
+let signed_lt a b =
+  require_same_width "signed_lt" a b;
+  let sa = bit a (a.width - 1) and sb = bit b (b.width - 1) in
+  match (sa, sb) with
+  | true, false -> true
+  | false, true -> false
+  | _ -> lt a b
+
+let signed_le a b = signed_lt a b || equal_value a b
+
+let divmod a b =
+  require_same_width "div" a b;
+  if is_zero b then (ones a.width, a)
+  else (
+    (* restoring long division, MSB first *)
+    let q = ref (zero a.width) and r = ref (zero a.width) in
+    for i = a.width - 1 downto 0 do
+      r := shift_left !r 1;
+      if bit a i then r := set_bit !r 0 true;
+      if ge !r b then (
+        r := sub !r b;
+        q := set_bit !q i true)
+    done;
+    (!q, !r))
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let map2_limbs f a b =
+  require_same_width "bitwise" a b;
+  let r = zero a.width in
+  for i = 0 to Array.length a.limbs - 1 do
+    r.limbs.(i) <- f a.limbs.(i) b.limbs.(i)
+  done;
+  normalize r
+
+let logand a b = map2_limbs ( land ) a b
+let logor a b = map2_limbs ( lor ) a b
+let logxor a b = map2_limbs ( lxor ) a b
+
+let lognot a =
+  let r = zero a.width in
+  for i = 0 to Array.length a.limbs - 1 do
+    r.limbs.(i) <- lnot a.limbs.(i) land limb_mask
+  done;
+  normalize r
+
+let reduce_and t = equal t (ones t.width)
+let reduce_or t = not (is_zero t)
+
+let reduce_xor t =
+  let c = ref 0 in
+  for i = 0 to t.width - 1 do
+    if bit t i then incr c
+  done;
+  !c land 1 = 1
+
+let to_binary_string t =
+  String.init t.width (fun i -> if bit t (t.width - 1 - i) then '1' else '0')
+
+let to_hex_string t =
+  let ndigits = (t.width + 3) / 4 in
+  String.init ndigits (fun i ->
+      let lo = (ndigits - 1 - i) * 4 in
+      let hi = min (lo + 3) (t.width - 1) in
+      let v = to_int_trunc (slice t ~hi ~lo) in
+      "0123456789abcdef".[v])
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg (Printf.sprintf "Bits: bad hex digit %c" c)
+
+let of_hex_string ~width:w s =
+  check_width w;
+  let acc = ref (zero (max w 4)) in
+  String.iter
+    (fun c ->
+      if c <> '_' then (
+        let d = hex_digit c in
+        acc := shift_left !acc 4;
+        acc := logor !acc (of_int ~width:(width !acc) d)))
+    s;
+  resize !acc w
+
+let of_decimal_string ~width:w s =
+  check_width w;
+  let ten = of_int ~width:(max w 8) 10 in
+  let acc = ref (zero (max w 8)) in
+  String.iter
+    (fun c ->
+      if c <> '_' then (
+        if c < '0' || c > '9' then
+          invalid_arg (Printf.sprintf "Bits: bad decimal digit %c" c);
+        acc := mul !acc ten;
+        acc :=
+          add !acc (of_int ~width:(width !acc) (Char.code c - Char.code '0'))))
+    s;
+  resize !acc w
+
+let to_string t = Printf.sprintf "%d'h%s" t.width (to_hex_string t)
+let pp fmt t = Format.pp_print_string fmt (to_string t)

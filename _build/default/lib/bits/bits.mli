@@ -1,0 +1,142 @@
+(** Arbitrary-width bit vectors with Verilog semantics.
+
+    A value of type [t] is an unsigned bit vector of a fixed [width] (>= 1).
+    All arithmetic is performed modulo [2^width], mirroring the behaviour of
+    Verilog nets and registers: assigning a wider value truncates, a narrower
+    value zero-extends.  Signed interpretations are available through the
+    [signed_*] operations, which read the most significant bit as a sign. *)
+
+type t
+
+val width : t -> int
+
+(** {1 Construction} *)
+
+val zero : int -> t
+(** [zero w] is the [w]-bit vector of all zeros. Raises [Invalid_argument]
+    if [w < 1]. *)
+
+val one : int -> t
+(** [one w] is the [w]-bit vector holding 1. *)
+
+val ones : int -> t
+(** [ones w] is the [w]-bit vector of all ones. *)
+
+val of_int : width:int -> int -> t
+(** [of_int ~width n] truncates the two's-complement representation of [n]
+    to [width] bits. Negative [n] wraps, as in Verilog. *)
+
+val of_bool : bool -> t
+(** 1-bit vector: [true] is 1, [false] is 0. *)
+
+val of_binary_string : string -> t
+(** [of_binary_string "1010"] builds a vector whose width is the string
+    length. Underscores are ignored. Raises [Invalid_argument] on other
+    characters or empty strings. *)
+
+val of_hex_string : width:int -> string -> t
+(** [of_hex_string ~width s] parses hex digits (underscores ignored) and
+    truncates/extends to [width]. *)
+
+val of_decimal_string : width:int -> string -> t
+(** Parses an unsigned decimal literal, truncated to [width] bits. *)
+
+(** {1 Conversion} *)
+
+val to_int : t -> int
+(** Value as a non-negative OCaml int. Raises [Failure] if the value does
+    not fit in 62 bits. *)
+
+val to_int_trunc : t -> int
+(** Low 62 bits of the value, always succeeds. *)
+
+val to_binary_string : t -> string
+val to_hex_string : t -> string
+
+val to_signed_int : t -> int
+(** Two's-complement interpretation. Raises [Failure] if it does not fit. *)
+
+(** {1 Structure} *)
+
+val bit : t -> int -> bool
+(** [bit v i] is bit [i] (0 = least significant). Raises [Invalid_argument]
+    when [i] is out of range. *)
+
+val slice : t -> hi:int -> lo:int -> t
+(** [slice v ~hi ~lo] is bits [hi..lo] inclusive, width [hi - lo + 1]. *)
+
+val concat : t list -> t
+(** [concat [a; b; c]] places [a] in the most significant position,
+    following Verilog [{a, b, c}]. *)
+
+val repeat : int -> t -> t
+(** [repeat n v] is Verilog [{n{v}}]. *)
+
+val resize : t -> int -> t
+(** Zero-extend or truncate to the given width. *)
+
+val sign_extend : t -> int -> t
+(** Sign-extend (or truncate) to the given width. *)
+
+(** {1 Arithmetic (operands must share a width; result has that width)} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Division by zero yields all-ones, as Verilator produces for x/0 in
+    two-state simulation. *)
+
+val rem : t -> t -> t
+(** Remainder; [rem x zero] is [x]. *)
+
+val neg : t -> t
+
+(** {1 Bitwise} *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+val arith_shift_right : t -> int -> t
+
+(** {1 Reductions and predicates} *)
+
+val reduce_and : t -> bool
+val reduce_or : t -> bool
+val reduce_xor : t -> bool
+val is_zero : t -> bool
+
+(** {1 Comparisons (unsigned unless stated)} *)
+
+val equal : t -> t -> bool
+(** Width-sensitive: vectors of different widths are never equal. *)
+
+val equal_value : t -> t -> bool
+(** Compares numeric values, ignoring width. *)
+
+val compare : t -> t -> int
+(** Unsigned numeric comparison (widths may differ). *)
+
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+val signed_lt : t -> t -> bool
+val signed_le : t -> t -> bool
+
+(** {1 Mutation-free update} *)
+
+val set_bit : t -> int -> bool -> t
+val set_slice : t -> hi:int -> lo:int -> t -> t
+(** [set_slice v ~hi ~lo x] replaces bits [hi..lo] of [v] with [x]
+    (resized to fit). *)
+
+(** {1 Formatting} *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [<width>'h<hex>]. *)
+
+val to_string : t -> string

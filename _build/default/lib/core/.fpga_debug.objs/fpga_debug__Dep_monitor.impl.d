@@ -1,0 +1,1 @@
+lib/core/dep_monitor.ml: Fpga_analysis Fpga_hdl Instrument List Printf String

@@ -1,0 +1,1 @@
+lib/core/dep_monitor.mli: Fpga_analysis Fpga_hdl

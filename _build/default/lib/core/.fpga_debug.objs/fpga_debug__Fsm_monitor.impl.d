@@ -1,0 +1,1 @@
+lib/core/fsm_monitor.ml: Fpga_analysis Fpga_bits Fpga_hdl Instrument List Printf String

@@ -1,0 +1,1 @@
+lib/core/fsm_monitor.mli: Fpga_analysis Fpga_hdl

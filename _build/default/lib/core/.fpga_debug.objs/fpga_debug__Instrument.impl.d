@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Fpga_hdl List Printf String

@@ -1,0 +1,1 @@
+lib/core/losscheck.ml: Fpga_analysis Fpga_bits Fpga_hdl Fpga_sim Hashtbl Instrument List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/losscheck.mli: Fpga_hdl Fpga_sim

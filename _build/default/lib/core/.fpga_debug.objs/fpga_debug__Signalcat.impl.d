@@ -1,0 +1,1 @@
+lib/core/signalcat.ml: Array Fpga_analysis Fpga_bits Fpga_hdl Fpga_sim Instrument List Option

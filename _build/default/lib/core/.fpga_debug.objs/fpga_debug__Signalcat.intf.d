@@ -1,0 +1,1 @@
+lib/core/signalcat.mli: Fpga_hdl Fpga_sim

@@ -1,0 +1,1 @@
+lib/core/stat_monitor.ml: Fpga_bits Fpga_hdl Fpga_sim Instrument List Printf String

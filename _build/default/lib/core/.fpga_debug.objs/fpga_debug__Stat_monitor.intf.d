@@ -1,0 +1,1 @@
+lib/core/stat_monitor.mli: Fpga_hdl Fpga_sim

@@ -1,0 +1,33 @@
+(** FSM Monitor (section 4.2): static FSM detection plus a runtime
+    state-transition trace through SignalCat. *)
+
+type t = { module_name : string; fsms : Fpga_analysis.Fsm_detect.fsm list }
+
+type transition = {
+  cycle : int;
+  state_var : string;
+  from_value : int;
+  to_value : int;
+  from_name : string;  (** symbolic, via localparams *)
+  to_name : string;
+}
+
+val plan :
+  ?extra:string list -> ?exclude:string list -> Fpga_hdl.Ast.module_def -> t
+(** Detect the module's FSMs. [extra] forces registers the heuristics
+    missed in; [exclude] filters false or irrelevant ones out — the
+    patching facility section 4.2 describes. *)
+
+val instrument : t -> Fpga_hdl.Ast.module_def -> Fpga_hdl.Ast.module_def
+(** One shadow register per FSM plus a $display on every transition;
+    the displays then follow the SignalCat path in either execution
+    mode. *)
+
+val transitions : t -> (int * string) list -> transition list
+(** Decode the transition trace from a unified log. *)
+
+val final_states : t -> (int * string) list -> (string * string) list
+(** The last observed state of every monitored FSM — the "where is each
+    state machine stuck" question of the grayscale case study. *)
+
+val transition_to_string : transition -> string

@@ -1,0 +1,78 @@
+(* Shared helpers for the instrumentation passes: clock discovery,
+   collision-free shadow names, reset detection, and log-tag parsing. *)
+
+module Ast = Fpga_hdl.Ast
+
+exception Instrument_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Instrument_error s)) fmt
+
+(* The clock driving the monitors: the clock of the first sequential
+   block, falling back to a port named clk/clock. *)
+let find_clock (m : Ast.module_def) : string =
+  let from_always =
+    List.find_map
+      (fun (a : Ast.always) ->
+        match a.Ast.sens with
+        | Ast.Posedge c | Ast.Negedge c -> Some c
+        | Ast.Star -> None)
+      m.Ast.always_blocks
+  in
+  match from_always with
+  | Some c -> c
+  | None -> (
+      match
+        List.find_opt
+          (fun (p : Ast.port) ->
+            p.Ast.dir = Ast.Input
+            && (p.Ast.port_name = "clk" || p.Ast.port_name = "clock"))
+          m.Ast.ports
+      with
+      | Some p -> p.Ast.port_name
+      | None -> err "module %s has no clock" m.Ast.mod_name)
+
+(* Active-high reset input, when the design has one. *)
+let find_reset (m : Ast.module_def) : string option =
+  List.find_map
+    (fun (p : Ast.port) ->
+      if
+        p.Ast.dir = Ast.Input
+        && List.mem p.Ast.port_name [ "reset"; "rst"; "rst_n"; "resetn" ]
+      then Some p.Ast.port_name
+      else None)
+    m.Ast.ports
+
+let name_taken (m : Ast.module_def) name =
+  Ast.find_decl m name <> None || Ast.find_port m name <> None
+
+let check_fresh m name =
+  if name_taken m name then
+    err "instrumentation name %s collides with a design signal" name
+
+(* Sanitize a signal name for embedding in a shadow-variable name. *)
+let sanitize name =
+  String.map (fun c -> if c = '/' || c = '.' then '_' else c) name
+
+(* Append declarations and an always block to a module. *)
+let add_logic (m : Ast.module_def) ~decls ~always : Ast.module_def =
+  List.iter (fun (d : Ast.decl) -> check_fresh m d.Ast.name) decls;
+  {
+    m with
+    Ast.decls = m.Ast.decls @ decls;
+    always_blocks = m.Ast.always_blocks @ always;
+  }
+
+(* Parse "[TAG] payload" display lines emitted by the monitors. *)
+let tagged_lines tag (log : (int * string) list) : (int * string) list =
+  let prefix = Printf.sprintf "[%s] " tag in
+  let plen = String.length prefix in
+  List.filter_map
+    (fun (cycle, text) ->
+      if String.length text >= plen && String.sub text 0 plen = prefix then
+        Some (cycle, String.sub text plen (String.length text - plen))
+      else None)
+    log
+
+(* Lines of Verilog inserted by an instrumentation pass. *)
+let added_loc ~(before : Ast.module_def) ~(after : Ast.module_def) : int =
+  Fpga_hdl.Pp_verilog.module_loc after - Fpga_hdl.Pp_verilog.module_loc before

@@ -1,0 +1,34 @@
+(** Shared helpers for the instrumentation passes: clock discovery,
+    collision-free shadow names, reset detection, and log-tag parsing. *)
+
+exception Instrument_error of string
+
+val err : ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Instrument_error} with a formatted message. *)
+
+val find_clock : Fpga_hdl.Ast.module_def -> string
+(** The clock driving the monitors: the clock of the first sequential
+    block, falling back to an input named [clk]/[clock]. *)
+
+val find_reset : Fpga_hdl.Ast.module_def -> string option
+(** An input named [reset]/[rst]/[rst_n]/[resetn], when present. *)
+
+val name_taken : Fpga_hdl.Ast.module_def -> string -> bool
+val check_fresh : Fpga_hdl.Ast.module_def -> string -> unit
+
+val sanitize : string -> string
+(** Make a signal name safe for embedding in a shadow-variable name. *)
+
+val add_logic :
+  Fpga_hdl.Ast.module_def ->
+  decls:Fpga_hdl.Ast.decl list ->
+  always:Fpga_hdl.Ast.always list ->
+  Fpga_hdl.Ast.module_def
+(** Append declarations and always blocks, checking for collisions. *)
+
+val tagged_lines : string -> (int * string) list -> (int * string) list
+(** Extract the payloads of ["[TAG] payload"] lines from a log. *)
+
+val added_loc :
+  before:Fpga_hdl.Ast.module_def -> after:Fpga_hdl.Ast.module_def -> int
+(** Lines of Verilog an instrumentation pass inserted. *)

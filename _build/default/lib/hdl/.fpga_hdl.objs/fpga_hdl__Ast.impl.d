@@ -1,0 +1,1 @@
+lib/hdl/ast.ml: Fpga_bits List String

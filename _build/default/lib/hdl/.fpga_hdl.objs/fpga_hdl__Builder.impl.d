@@ -1,0 +1,1 @@
+lib/hdl/builder.ml: Ast Fpga_bits Option

@@ -1,0 +1,1 @@
+lib/hdl/lexer.ml: Buffer Char Fpga_bits List Option Printf String

@@ -1,0 +1,1 @@
+lib/hdl/lexer.mli: Fpga_bits

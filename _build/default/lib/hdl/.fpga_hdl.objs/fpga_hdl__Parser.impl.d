@@ -1,0 +1,1 @@
+lib/hdl/parser.ml: Array Ast Fpga_bits Lexer List Printf

@@ -1,0 +1,1 @@
+lib/hdl/pp_verilog.ml: Ast Fpga_bits List Printf String

@@ -1,0 +1,1 @@
+lib/hdl/pp_verilog.mli: Ast Fpga_bits

@@ -1,0 +1,73 @@
+(* A small eDSL for constructing AST fragments from OCaml. Used by tests
+   and by the instrumentation passes in lib/core, which synthesize
+   monitoring logic programmatically before splicing it into a parsed
+   design. *)
+
+module Bits = Fpga_bits.Bits
+open Ast
+
+(* Expressions *)
+
+let ident n = Ident n
+let const ~width v = Const (Bits.of_int ~width v)
+let const_bits b = Const b
+let tru = true_expr
+let fls = false_expr
+let idx n e = Index (n, e)
+let idx_int n i = Index (n, const ~width:32 i)
+let range n hi lo = Range (n, hi, lo)
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( ==: ) a b = Binop (Eq, a, b)
+let ( <>: ) a b = Binop (Neq, a, b)
+let ( <: ) a b = Binop (Lt, a, b)
+let ( <=: ) a b = Binop (Le, a, b)
+let ( >: ) a b = Binop (Gt, a, b)
+let ( >=: ) a b = Binop (Ge, a, b)
+let ( &&: ) a b = and_expr a b
+let ( ||: ) a b = or_expr a b
+let ( &: ) a b = Binop (Band, a, b)
+let ( |: ) a b = Binop (Bor, a, b)
+let ( ^: ) a b = Binop (Bxor, a, b)
+let bnot e = Unop (Bnot, e)
+let lnot_ e = not_expr e
+let sll a n = Binop (Shl, a, const ~width:32 n)
+let srl a n = Binop (Shr, a, const ~width:32 n)
+let mux c t f = Cond (c, t, f)
+let concat es = Concat es
+
+(* Statements *)
+
+let assign_nb n e = Nonblocking (Lident n, e)
+let assign_b n e = Blocking (Lident n, e)
+let if_ c t f = If (c, t, f)
+let when_ c t = If (c, t, [])
+let display fmt args = Display (fmt, args)
+let finish = Finish
+
+(* Declarations *)
+
+let reg ?init ?depth ~width name =
+  { name; kind = Reg; width; depth; init = Option.map (Bits.of_int ~width) init }
+
+let wire ?depth ~width name = { name; kind = Wire; width; depth; init = None }
+
+let input ~width name = { port_name = name; dir = Input; port_width = width }
+let output ~width name = { port_name = name; dir = Output; port_width = width }
+
+let module_ ?(params = []) ?(localparams = []) ?(decls = []) ?(assigns = [])
+    ?(always_blocks = []) ?(instances = []) name ~ports =
+  {
+    mod_name = name;
+    ports;
+    params;
+    localparams;
+    decls;
+    assigns;
+    always_blocks;
+    instances;
+  }
+
+let always_ff ?(clk = "clk") stmts = { sens = Posedge clk; stmts }
+let always_comb stmts = { sens = Star; stmts }

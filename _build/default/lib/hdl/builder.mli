@@ -1,0 +1,68 @@
+(** A small eDSL for constructing AST fragments from OCaml, used by
+    tests and by the instrumentation passes, which synthesize monitoring
+    logic programmatically before splicing it into a parsed design. *)
+
+(** {1 Expressions} *)
+
+val ident : string -> Ast.expr
+val const : width:int -> int -> Ast.expr
+val const_bits : Fpga_bits.Bits.t -> Ast.expr
+val tru : Ast.expr
+val fls : Ast.expr
+val idx : string -> Ast.expr -> Ast.expr
+val idx_int : string -> int -> Ast.expr
+val range : string -> int -> int -> Ast.expr
+
+val ( +: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( -: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( *: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( ==: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <>: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <=: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >=: ) : Ast.expr -> Ast.expr -> Ast.expr
+
+val ( &&: ) : Ast.expr -> Ast.expr -> Ast.expr
+(** Logical and, with constant folding (see {!Ast.and_expr}). *)
+
+val ( ||: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( &: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( |: ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( ^: ) : Ast.expr -> Ast.expr -> Ast.expr
+val bnot : Ast.expr -> Ast.expr
+val lnot_ : Ast.expr -> Ast.expr
+val sll : Ast.expr -> int -> Ast.expr
+val srl : Ast.expr -> int -> Ast.expr
+val mux : Ast.expr -> Ast.expr -> Ast.expr -> Ast.expr
+val concat : Ast.expr list -> Ast.expr
+
+(** {1 Statements} *)
+
+val assign_nb : string -> Ast.expr -> Ast.stmt
+val assign_b : string -> Ast.expr -> Ast.stmt
+val if_ : Ast.expr -> Ast.stmt list -> Ast.stmt list -> Ast.stmt
+val when_ : Ast.expr -> Ast.stmt list -> Ast.stmt
+val display : string -> Ast.expr list -> Ast.stmt
+val finish : Ast.stmt
+
+(** {1 Declarations and modules} *)
+
+val reg : ?init:int -> ?depth:int -> width:int -> string -> Ast.decl
+val wire : ?depth:int -> width:int -> string -> Ast.decl
+val input : width:int -> string -> Ast.port
+val output : width:int -> string -> Ast.port
+
+val module_ :
+  ?params:(string * int) list ->
+  ?localparams:(string * Fpga_bits.Bits.t) list ->
+  ?decls:Ast.decl list ->
+  ?assigns:(Ast.lvalue * Ast.expr) list ->
+  ?always_blocks:Ast.always list ->
+  ?instances:Ast.instance list ->
+  string ->
+  ports:Ast.port list ->
+  Ast.module_def
+
+val always_ff : ?clk:string -> Ast.stmt list -> Ast.always
+val always_comb : Ast.stmt list -> Ast.always

@@ -1,0 +1,184 @@
+(* Hand-written lexer for the Verilog subset. Produces a token array with
+   line numbers so the parser can report precise locations. *)
+
+type token =
+  | Tident of string
+  | Tnumber of { width : int option; value : Fpga_bits.Bits.t }
+  | Tstring of string
+  | Tsystem of string  (* $display, $finish, ... *)
+  | Tkeyword of string
+  | Tpunct of string
+  | Teof
+
+type lexed = { tok : token; line : int }
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    "module"; "endmodule"; "input"; "output"; "inout"; "reg"; "wire";
+    "assign"; "always"; "posedge"; "negedge"; "begin"; "end"; "if"; "else";
+    "case"; "endcase"; "default"; "parameter"; "localparam"; "integer";
+    "initial"; "signed";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+(* Multi-character punctuation, longest first. *)
+let puncts =
+  [
+    ">>>"; "<<<"; "==="; "!=="; "<="; ">="; "=="; "!="; "&&"; "||"; "<<";
+    ">>"; "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "~"; "!"; "?"; ":"; "=";
+    ","; ";"; "("; ")"; "["; "]"; "{"; "}"; "@"; "."; "#"; "<"; ">";
+  ]
+
+let tokenize (src : string) : lexed list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let emit tok = toks := { tok; line = !line } :: !toks in
+  let starts_with s =
+    let l = String.length s in
+    !pos + l <= n && String.sub src !pos l = s
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then (
+      incr line;
+      incr pos)
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if starts_with "//" then (
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done)
+    else if starts_with "/*" then (
+      pos := !pos + 2;
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if starts_with "*/" then (
+          closed := true;
+          pos := !pos + 2)
+        else (
+          if src.[!pos] = '\n' then incr line;
+          incr pos)
+      done;
+      if not !closed then raise (Lex_error ("unterminated comment", !line)))
+    else if c = '"' then (
+      let buf = Buffer.create 16 in
+      incr pos;
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        let d = src.[!pos] in
+        if d = '"' then (
+          closed := true;
+          incr pos)
+        else if d = '\\' then (
+          (match peek 1 with
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some 't' -> Buffer.add_char buf '\t'
+          | Some other -> Buffer.add_char buf other
+          | None -> raise (Lex_error ("bad escape", !line)));
+          pos := !pos + 2)
+        else (
+          Buffer.add_char buf d;
+          incr pos)
+      done;
+      if not !closed then raise (Lex_error ("unterminated string", !line));
+      emit (Tstring (Buffer.contents buf)))
+    else if c = '$' then (
+      let start = !pos + 1 in
+      let stop = ref start in
+      while !stop < n && is_ident_char src.[!stop] do
+        incr stop
+      done;
+      if !stop = start then raise (Lex_error ("bad system task", !line));
+      emit (Tsystem (String.sub src start (!stop - start)));
+      pos := !stop)
+    else if is_ident_start c then (
+      let start = !pos in
+      let stop = ref start in
+      while !stop < n && is_ident_char src.[!stop] do
+        incr stop
+      done;
+      let word = String.sub src start (!stop - start) in
+      if List.mem word keywords then emit (Tkeyword word)
+      else emit (Tident word);
+      pos := !stop)
+    else if is_digit c || (c = '\'' && Option.fold ~none:false ~some:is_ident_char (peek 1))
+    then (
+      (* Numeric literal: [size]'[base]digits or a bare decimal. *)
+      let start = !pos in
+      let stop = ref start in
+      while !stop < n && (is_digit src.[!stop] || src.[!stop] = '_') do
+        incr stop
+      done;
+      let size_str = String.sub src start (!stop - start) in
+      if !stop < n && src.[!stop] = '\'' then (
+        let base_pos = !stop + 1 in
+        if base_pos >= n then raise (Lex_error ("bad literal", !line));
+        let base = Char.lowercase_ascii src.[base_pos] in
+        let dstart = base_pos + 1 in
+        let dstop = ref dstart in
+        while
+          !dstop < n && (is_hex_digit src.[!dstop] || src.[!dstop] = '_')
+        do
+          incr dstop
+        done;
+        let digits = String.sub src dstart (!dstop - dstart) in
+        if digits = "" then raise (Lex_error ("bad literal digits", !line));
+        let width =
+          if size_str = "" then None
+          else
+            match
+              int_of_string_opt
+                (String.concat "" (String.split_on_char '_' size_str))
+            with
+            | Some w when w >= 1 && w <= 4096 -> Some w
+            | _ -> raise (Lex_error ("bad literal size " ^ size_str, !line))
+        in
+        let w = Option.value width ~default:32 in
+        let value =
+          try
+            match base with
+            | 'h' -> Fpga_bits.Bits.of_hex_string ~width:w digits
+            | 'b' ->
+                Fpga_bits.Bits.resize (Fpga_bits.Bits.of_binary_string digits) w
+            | 'd' -> Fpga_bits.Bits.of_decimal_string ~width:w digits
+            | _ -> raise (Lex_error (Printf.sprintf "bad base '%c'" base, !line))
+          with Invalid_argument msg -> raise (Lex_error (msg, !line))
+        in
+        emit (Tnumber { width; value });
+        pos := !dstop)
+      else (
+        let value =
+          try
+            Fpga_bits.Bits.of_decimal_string ~width:32
+              (String.concat "" (String.split_on_char '_' size_str))
+          with Invalid_argument msg -> raise (Lex_error (msg, !line))
+        in
+        emit (Tnumber { width = None; value });
+        pos := !stop))
+    else (
+      match List.find_opt starts_with puncts with
+      | Some p ->
+          emit (Tpunct p);
+          pos := !pos + String.length p
+      | None ->
+          raise
+            (Lex_error (Printf.sprintf "unexpected character %C" c, !line)))
+  done;
+  List.rev ({ tok = Teof; line = !line } :: !toks)
+
+let token_to_string = function
+  | Tident s -> s
+  | Tnumber { value; _ } -> Fpga_bits.Bits.to_string value
+  | Tstring s -> Printf.sprintf "%S" s
+  | Tsystem s -> "$" ^ s
+  | Tkeyword s -> s
+  | Tpunct s -> s
+  | Teof -> "<eof>"

@@ -1,0 +1,18 @@
+(** Recursive-descent parser for the Verilog subset described in
+    {!Ast}.
+
+    Ranges, array bounds, and repeat counts must be constant
+    expressions over literals, parameters, and localparams; they are
+    folded at parse time, so widths in the AST are plain integers
+    (which is also why a parameter override at instantiation may not
+    change widths — see {!Fpga_sim.Elaborate}). *)
+
+exception Parse_error of string * int
+(** Message and 1-based source line. *)
+
+val parse_design : string -> Ast.design
+(** Parse a complete source text (one or more modules). *)
+
+val parse_module : string -> Ast.module_def
+(** Parse and return the first module; raises {!Parse_error} when the
+    source contains none. *)

@@ -1,0 +1,1 @@
+lib/report/report.ml: Fpga_analysis Fpga_debug Fpga_hdl Fpga_resources Fpga_study Fpga_testbed List Option Printf String

@@ -1,0 +1,1 @@
+lib/resources/model.ml: Fpga_analysis Fpga_hdl List Option Platforms

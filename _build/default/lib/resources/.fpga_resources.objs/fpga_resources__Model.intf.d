@@ -1,0 +1,1 @@
+lib/resources/model.mli: Fpga_hdl Platforms

@@ -1,0 +1,254 @@
+(* Analytic synthesis model: estimates block RAM, register, and logic
+   usage of a module, and the clock frequency it can close, standing in
+   for Quartus/Vivado in the overhead experiments (section 6.4).
+
+   The model is deliberately simple but captures the trends the paper
+   reports: memories (including recording buffers) consume BRAM bits
+   linearly in their depth; monitor shadow state adds registers; the
+   inserted comparison/mux logic adds LUTs independent of buffer size;
+   and deep combinational conditions lower the achievable frequency. *)
+
+module Ast = Fpga_hdl.Ast
+module Width = Fpga_analysis.Width
+
+type usage = { bram_bits : int; registers : int; logic : int }
+
+let zero_usage = { bram_bits = 0; registers = 0; logic = 0 }
+
+let add_usage a b =
+  {
+    bram_bits = a.bram_bits + b.bram_bits;
+    registers = a.registers + b.registers;
+    logic = a.logic + b.logic;
+  }
+
+let sub_usage a b =
+  {
+    bram_bits = a.bram_bits - b.bram_bits;
+    registers = a.registers - b.registers;
+    logic = a.logic - b.logic;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LUT cost of expressions                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_cost (m : Ast.module_def) (e : Ast.expr) : int =
+  let w x = try Width.of_expr m x with Width.Unknown_width _ -> 8 in
+  match e with
+  | Ast.Const _ | Ast.Ident _ | Ast.Range _ -> 0
+  | Ast.Index (n, i) -> (
+      expr_cost m i
+      +
+      (* variable bit/word select costs a mux tree *)
+      match i with Ast.Const _ -> 0 | _ -> max 1 (w (Ast.Ident n) / 2))
+  | Ast.Unop ((Ast.Bnot | Ast.Neg), a) -> expr_cost m a + max 1 (w a / 4)
+  | Ast.Unop ((Ast.Lnot | Ast.Rand | Ast.Ror | Ast.Rxor), a) ->
+      expr_cost m a + max 1 (w a / 6)
+  | Ast.Binop ((Ast.Add | Ast.Sub), a, b) ->
+      expr_cost m a + expr_cost m b + max (w a) (w b)
+  | Ast.Binop (Ast.Mul, a, b) ->
+      expr_cost m a + expr_cost m b + (2 * max (w a) (w b))
+  | Ast.Binop ((Ast.Div | Ast.Mod), a, b) ->
+      expr_cost m a + expr_cost m b + (4 * max (w a) (w b))
+  | Ast.Binop ((Ast.Band | Ast.Bor | Ast.Bxor), a, b) ->
+      expr_cost m a + expr_cost m b + max 1 (max (w a) (w b) / 2)
+  | Ast.Binop ((Ast.Land | Ast.Lor), a, b) -> expr_cost m a + expr_cost m b + 1
+  | Ast.Binop ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), a, b) ->
+      expr_cost m a + expr_cost m b + max 1 (max (w a) (w b) / 2)
+  | Ast.Binop ((Ast.Shl | Ast.Shr | Ast.Ashr), a, b) -> (
+      expr_cost m a
+      + expr_cost m b
+      + match b with Ast.Const _ -> 0 | _ -> w a (* barrel shifter *))
+  | Ast.Cond (c, a, b) ->
+      expr_cost m c + expr_cost m a + expr_cost m b + max (w a) (w b)
+  | Ast.Concat es -> List.fold_left (fun acc x -> acc + expr_cost m x) 0 es
+  | Ast.Repeat (_, a) -> expr_cost m a
+
+let rec stmt_cost (m : Ast.module_def) (s : Ast.stmt) : int =
+  match s with
+  | Ast.Blocking (l, e) | Ast.Nonblocking (l, e) ->
+      let lv_cost =
+        match l with Ast.Lindex (_, i) -> expr_cost m i + 4 | _ -> 0
+      in
+      expr_cost m e + lv_cost
+  | Ast.If (c, t, f) ->
+      (* condition logic plus an enable/mux per assigned target *)
+      expr_cost m c + 1
+      + List.fold_left (fun acc x -> acc + stmt_cost m x) 0 t
+      + List.fold_left (fun acc x -> acc + stmt_cost m x) 0 f
+  | Ast.Case (e, items, default) ->
+      expr_cost m e
+      + List.fold_left
+          (fun acc (it : Ast.case_item) ->
+            acc + 1
+            + List.fold_left (fun a x -> a + stmt_cost m x) 0 it.Ast.body)
+          0 items
+      + (match default with
+        | None -> 0
+        | Some body -> List.fold_left (fun a x -> a + stmt_cost m x) 0 body)
+  | Ast.Display _ | Ast.Finish -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Module usage                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let ip_usage (i : Ast.instance) : usage =
+  let param name default =
+    Option.value (List.assoc_opt name i.Ast.params) ~default
+  in
+  match i.Ast.target with
+  | "scfifo" | "dcfifo" ->
+      let bits = param "lpm_width" 8 * param "lpm_numwords" 16 in
+      { bram_bits = bits; registers = 2 * Width.clog2 (param "lpm_numwords" 16); logic = 24 }
+  | "altsyncram" ->
+      let bits = param "width_a" 8 * param "numwords_a" 16 in
+      { bram_bits = bits; registers = param "width_a" 8; logic = 8 }
+  | _ -> zero_usage
+
+let of_module (m : Ast.module_def) : usage =
+  let decls =
+    List.fold_left
+      (fun acc (d : Ast.decl) ->
+        match (d.Ast.kind, d.Ast.depth) with
+        | _, Some depth ->
+            add_usage acc { zero_usage with bram_bits = d.Ast.width * depth }
+        | Ast.Reg, None ->
+            add_usage acc { zero_usage with registers = d.Ast.width }
+        | Ast.Wire, None -> acc)
+      zero_usage m.Ast.decls
+  in
+  let assigns =
+    List.fold_left
+      (fun acc (_, e) -> acc + expr_cost m e)
+      0 m.Ast.assigns
+  in
+  let always =
+    List.fold_left
+      (fun acc (a : Ast.always) ->
+        acc + List.fold_left (fun x s -> x + stmt_cost m s) 0 a.Ast.stmts)
+      0 m.Ast.always_blocks
+  in
+  let ips = List.fold_left (fun acc i -> add_usage acc (ip_usage i)) zero_usage m.Ast.instances in
+  add_usage (add_usage decls ips) { zero_usage with logic = assigns + always }
+
+(* Overhead of an instrumented design relative to its baseline. *)
+let overhead ~(baseline : Ast.module_def) ~(instrumented : Ast.module_def) :
+    usage =
+  sub_usage (of_module instrumented) (of_module baseline)
+
+(* ------------------------------------------------------------------ *)
+(* Frequency model                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Logic levels of an expression: depth of the operator tree, weighting
+   carry-chain arithmetic and multipliers more heavily. Chains of the
+   same associative bitwise/logical operator are balanced into trees,
+   as synthesizers do, so an n-way OR costs ceil(log2 n) levels. *)
+let is_balanceable = function
+  | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Land | Ast.Lor -> true
+  | _ -> false
+
+let rec expr_levels (e : Ast.expr) : int =
+  match e with
+  | Ast.Const _ | Ast.Ident _ | Ast.Range _ -> 0
+  | Ast.Index (_, i) -> ( match i with Ast.Const _ -> 0 | _ -> 1 + expr_levels i)
+  | Ast.Unop (_, a) -> 1 + expr_levels a
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), a, b)
+    ->
+      2 + max (expr_levels a) (expr_levels b)
+  | Ast.Binop (Ast.Mul, a, b) -> 3 + max (expr_levels a) (expr_levels b)
+  | Ast.Binop ((Ast.Div | Ast.Mod), a, b) ->
+      6 + max (expr_levels a) (expr_levels b)
+  | Ast.Binop (op, _, _) when is_balanceable op ->
+      let rec flatten e acc =
+        match e with
+        | Ast.Binop (op', a, b) when op' = op -> flatten a (flatten b acc)
+        | leaf -> leaf :: acc
+      in
+      let leaves = flatten e [] in
+      let depth_of_tree =
+        let n = List.length leaves in
+        let rec clog2 acc v = if v <= 1 then acc else clog2 (acc + 1) ((v + 1) / 2) in
+        clog2 0 n
+      in
+      depth_of_tree
+      + List.fold_left (fun acc l -> max acc (expr_levels l)) 0 leaves
+  | Ast.Binop (_, a, b) -> 1 + max (expr_levels a) (expr_levels b)
+  | Ast.Cond (c, a, b) ->
+      1 + max (expr_levels c) (max (expr_levels a) (expr_levels b))
+  | Ast.Concat es -> List.fold_left (fun acc x -> max acc (expr_levels x)) 0 es
+  | Ast.Repeat (_, a) -> expr_levels a
+
+let rec stmt_levels (depth : int) (s : Ast.stmt) : int =
+  match s with
+  | Ast.Blocking (l, e) | Ast.Nonblocking (l, e) ->
+      let lv = match l with Ast.Lindex (_, i) -> 1 + expr_levels i | _ -> 0 in
+      depth + max lv (expr_levels e)
+  | Ast.If (c, t, f) ->
+      let d = depth + 1 + expr_levels c in
+      List.fold_left
+        (fun acc x -> max acc (stmt_levels d x))
+        d (t @ f)
+  | Ast.Case (e, items, default) ->
+      let d = depth + 1 + expr_levels e in
+      let body_max =
+        List.fold_left
+          (fun acc (it : Ast.case_item) ->
+            List.fold_left (fun a x -> max a (stmt_levels d x)) acc it.Ast.body)
+          d items
+      in
+      (match default with
+      | None -> body_max
+      | Some body ->
+          List.fold_left (fun a x -> max a (stmt_levels d x)) body_max body)
+  | Ast.Display _ | Ast.Finish -> depth
+
+let critical_levels (m : Ast.module_def) : int =
+  let from_assigns =
+    List.fold_left (fun acc (_, e) -> max acc (expr_levels e)) 0 m.Ast.assigns
+  in
+  let from_always =
+    List.fold_left
+      (fun acc (a : Ast.always) ->
+        List.fold_left (fun x s -> max x (stmt_levels 0 s)) acc a.Ast.stmts)
+      0 m.Ast.always_blocks
+  in
+  max 1 (max from_assigns from_always)
+
+(* The frequency grid designs in the study target. *)
+let frequency_grid = [ 400; 200; 100; 50 ]
+
+type timing = {
+  target_mhz : int;
+  fmax_mhz : int;
+  achieved_mhz : int;  (* highest grid frequency <= fmax *)
+  meets_target : bool;
+}
+
+(* [instrumented] adds one level of tap load: recording logic fans out
+   from the design's nets, lengthening its critical path slightly. *)
+let timing ?(instrumented = false) (platform : Platforms.t)
+    (m : Ast.module_def) ~target_mhz : timing =
+  let levels = critical_levels m + if instrumented then 1 else 0 in
+  let fmax = platform.Platforms.fabric_speed / levels in
+  let achieved =
+    match List.find_opt (fun f -> f <= fmax) frequency_grid with
+    | Some f -> f
+    | None -> List.fold_left min max_int frequency_grid
+  in
+  {
+    target_mhz;
+    fmax_mhz = fmax;
+    achieved_mhz = min achieved target_mhz;
+    meets_target = fmax >= target_mhz;
+  }
+
+(* Percent of platform capacity, as plotted in Figure 3. *)
+let normalize (platform : Platforms.t) (u : usage) :
+    (string * float) list =
+  [
+    ("bram", 100.0 *. float_of_int u.bram_bits /. float_of_int platform.Platforms.bram_bits);
+    ("registers", 100.0 *. float_of_int u.registers /. float_of_int platform.Platforms.registers);
+    ("logic", 100.0 *. float_of_int u.logic /. float_of_int platform.Platforms.logic_elements);
+  ]

@@ -1,0 +1,63 @@
+(** Analytic synthesis model: block RAM, register, and logic usage of a
+    module, and the clock frequency it can close — the Quartus/Vivado
+    substitute behind the Figure 2 / Figure 3 / section 6.4 overhead
+    experiments.
+
+    The model is simple but captures the paper's trends: memories
+    (including SignalCat's recording buffers) consume BRAM bits
+    linearly in their depth; monitor shadow state adds registers; the
+    inserted comparison/mux logic adds LUTs independent of buffer
+    size; deep combinational paths lower the achievable frequency. *)
+
+type usage = { bram_bits : int; registers : int; logic : int }
+
+val zero_usage : usage
+val add_usage : usage -> usage -> usage
+val sub_usage : usage -> usage -> usage
+
+val expr_cost : Fpga_hdl.Ast.module_def -> Fpga_hdl.Ast.expr -> int
+(** LUT estimate of an expression. *)
+
+val stmt_cost : Fpga_hdl.Ast.module_def -> Fpga_hdl.Ast.stmt -> int
+
+val of_module : Fpga_hdl.Ast.module_def -> usage
+(** Total usage: registers = sum of reg widths, BRAM = memory and IP
+    storage bits, logic = operator cost estimates. *)
+
+val overhead :
+  baseline:Fpga_hdl.Ast.module_def ->
+  instrumented:Fpga_hdl.Ast.module_def ->
+  usage
+(** Usage delta of an instrumented design over its baseline. *)
+
+val expr_levels : Fpga_hdl.Ast.expr -> int
+(** Logic levels of an expression: operator-tree depth with heavier
+    weights for carry-chain arithmetic and multipliers, and balanced
+    trees for chains of the same associative bitwise/logical operator
+    (an n-way OR costs ceil(log2 n)). *)
+
+val stmt_levels : int -> Fpga_hdl.Ast.stmt -> int
+val critical_levels : Fpga_hdl.Ast.module_def -> int
+
+val frequency_grid : int list
+(** The target frequencies the study's designs use: 400/200/100/50. *)
+
+type timing = {
+  target_mhz : int;
+  fmax_mhz : int;
+  achieved_mhz : int;  (** highest grid frequency <= fmax (and target) *)
+  meets_target : bool;
+}
+
+val timing :
+  ?instrumented:bool ->
+  Platforms.t ->
+  Fpga_hdl.Ast.module_def ->
+  target_mhz:int ->
+  timing
+(** [fmax = fabric_speed / levels]; [instrumented] adds one level of
+    tap load, since recording logic fans out from the design's nets. *)
+
+val normalize : Platforms.t -> usage -> (string * float) list
+(** Percent of platform capacity (["bram"], ["registers"], ["logic"]),
+    as plotted in Figure 3. *)

@@ -1,0 +1,37 @@
+(* Capacity tables for the two evaluation platforms (section 6.2).
+
+   Intel HARP carries an Arria 10 GX 1150; the Xilinx board is a KC705
+   with a Kintex-7 325T. Capacities are the public device totals and are
+   used to normalize overheads, as in Figures 2 and 3. *)
+
+type t = {
+  name : string;
+  bram_bits : int;
+  registers : int;
+  logic_elements : int;  (* ALMs / LUTs *)
+  (* fabric speed constant: achievable MHz = fabric_speed / logic levels *)
+  fabric_speed : int;
+}
+
+let harp =
+  {
+    name = "Intel HARP (Arria 10 GX 1150)";
+    bram_bits = 55_562_240;  (* 2713 M20K blocks *)
+    registers = 1_708_800;
+    logic_elements = 427_200;
+    fabric_speed = 3200;
+  }
+
+let kc705 =
+  {
+    name = "Xilinx KC705 (Kintex-7 325T)";
+    bram_bits = 16_404_480;  (* 445 BRAM36 blocks *)
+    registers = 407_600;
+    logic_elements = 203_800;
+    fabric_speed = 2800;
+  }
+
+type kind = Harp | Xilinx | Generic
+
+(* Generic designs are synthesized to the KC705 in the paper's setup. *)
+let of_kind = function Harp -> harp | Xilinx | Generic -> kc705

@@ -1,0 +1,22 @@
+(** Capacity tables for the two evaluation platforms of section 6.2:
+    Intel HARP (Arria 10 GX 1150) and the Xilinx KC705 (Kintex-7 325T).
+    Capacities are the public device totals, used to normalize the
+    overheads of Figures 2 and 3. *)
+
+type t = {
+  name : string;
+  bram_bits : int;
+  registers : int;
+  logic_elements : int;  (** ALMs / LUTs *)
+  fabric_speed : int;
+      (** speed constant of the frequency model:
+          achievable MHz = fabric_speed / logic levels *)
+}
+
+val harp : t
+val kc705 : t
+
+type kind = Harp | Xilinx | Generic
+
+val of_kind : kind -> t
+(** Generic designs synthesize to the KC705, as in the paper's setup. *)

@@ -1,0 +1,1 @@
+lib/sim/display.ml: Buffer Char Fpga_bits String

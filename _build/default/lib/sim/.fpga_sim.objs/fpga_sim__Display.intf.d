@@ -1,0 +1,1 @@
+lib/sim/display.mli: Fpga_bits

@@ -1,0 +1,1 @@
+lib/sim/elaborate.ml: Fpga_bits Fpga_hdl Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/sim/elaborate.mli: Fpga_bits Fpga_hdl Hashtbl

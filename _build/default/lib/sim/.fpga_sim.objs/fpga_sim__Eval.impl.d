@@ -1,0 +1,1 @@
+lib/sim/eval.ml: Array Fpga_bits Fpga_hdl Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/sim/eval.mli: Fpga_bits Fpga_hdl Hashtbl

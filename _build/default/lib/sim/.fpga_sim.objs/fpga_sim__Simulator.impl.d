@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Display Elaborate Eval Fpga_bits Fpga_hdl Hashtbl Int List Option Printf

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Elaborate Fpga_bits

@@ -1,0 +1,1 @@
+lib/sim/testbench.ml: Elaborate Fpga_bits Fpga_hdl List Simulator

@@ -1,0 +1,1 @@
+lib/sim/testbench.mli: Fpga_bits Fpga_hdl Simulator

@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Buffer Char Elaborate Fpga_bits Hashtbl List Printf Simulator String

@@ -1,0 +1,1 @@
+lib/sim/waveform.ml: Array Buffer Fpga_bits List Option Printf Simulator String Testbench

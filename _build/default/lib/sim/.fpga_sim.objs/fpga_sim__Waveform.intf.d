@@ -1,0 +1,1 @@
+lib/sim/waveform.mli: Fpga_bits Fpga_hdl Simulator Testbench

@@ -1,0 +1,53 @@
+(* $display format-string rendering. Supports the directives used in
+   hardware debugging practice: %d, %0d, %h/%x, %b, %c and %%. Unknown
+   directives are kept verbatim so malformed format strings are visible
+   in the log rather than silently dropped. *)
+
+module Bits = Fpga_bits.Bits
+
+let render (fmt : string) (args : Bits.t list) : string =
+  let buf = Buffer.create (String.length fmt + 16) in
+  let args = ref args in
+  let next_arg () =
+    match !args with
+    | [] -> None
+    | a :: rest ->
+        args := rest;
+        Some a
+  in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    let c = fmt.[!i] in
+    if c <> '%' || !i = n - 1 then (
+      Buffer.add_char buf c;
+      incr i)
+    else (
+      (* skip an optional 0 width prefix, as in %0d *)
+      let j = if fmt.[!i + 1] = '0' && !i + 2 < n then !i + 2 else !i + 1 in
+      let spec = fmt.[j] in
+      (match spec with
+      | '%' -> Buffer.add_char buf '%'
+      | 'd' -> (
+          match next_arg () with
+          | Some a -> Buffer.add_string buf (string_of_int (Bits.to_int_trunc a))
+          | None -> Buffer.add_string buf "<missing>")
+      | 'h' | 'x' -> (
+          match next_arg () with
+          | Some a -> Buffer.add_string buf (Bits.to_hex_string a)
+          | None -> Buffer.add_string buf "<missing>")
+      | 'b' -> (
+          match next_arg () with
+          | Some a -> Buffer.add_string buf (Bits.to_binary_string a)
+          | None -> Buffer.add_string buf "<missing>")
+      | 'c' -> (
+          match next_arg () with
+          | Some a ->
+              Buffer.add_char buf (Char.chr (Bits.to_int_trunc a land 0xFF))
+          | None -> Buffer.add_string buf "<missing>")
+      | other ->
+          Buffer.add_char buf '%';
+          Buffer.add_char buf other);
+      i := j + 1)
+  done;
+  Buffer.contents buf

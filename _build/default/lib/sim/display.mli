@@ -1,0 +1,9 @@
+(** $display format-string rendering.
+
+    Supports the directives hardware debugging actually uses: [%d],
+    [%0d], [%h]/[%x], [%b], [%c], and [%%]. Unknown directives are kept
+    verbatim so malformed format strings stay visible in the log. *)
+
+val render : string -> Fpga_bits.Bits.t list -> string
+(** [render fmt args] substitutes [args] positionally; missing
+    arguments render as ["<missing>"]. *)

@@ -1,0 +1,62 @@
+(** Expression evaluation and lvalue resolution over a flat environment.
+
+    Width rules follow the Verilog synthesizable subset: binary operands
+    are zero-extended to the wider of the two widths, comparisons and
+    logical operators yield one bit, shifts keep the left operand's
+    width, and an assignment's target width flows into arithmetic
+    operands (the context width), so the carry of [{c, s} <= a + b] is
+    not lost.
+
+    Out-of-range accesses implement the semantics documented in the bug
+    study (section 3.2.1): power-of-two structures wrap (the high index
+    bits are truncated), other sizes drop the access (writes ignored,
+    reads return zero). *)
+
+exception Eval_error of string
+
+type value =
+  | Vec of Fpga_bits.Bits.t  (** a register or net *)
+  | Mem of Fpga_bits.Bits.t array  (** a memory *)
+
+type env = (string, value) Hashtbl.t
+
+val get : env -> string -> value
+val get_vec : env -> string -> Fpga_bits.Bits.t
+val get_mem : env -> string -> Fpga_bits.Bits.t array
+
+val is_power_of_two : int -> bool
+
+val resolve_index : size:int -> int -> int option
+(** [resolve_index ~size idx] applies the overflow semantics above:
+    in-range indices are themselves, out-of-range indices wrap when
+    [size] is a power of two and are dropped ([None]) otherwise. *)
+
+val eval : env -> Fpga_hdl.Ast.expr -> Fpga_bits.Bits.t
+(** Self-determined evaluation (context width 0). *)
+
+val eval_ctx : env -> ctx:int -> Fpga_hdl.Ast.expr -> Fpga_bits.Bits.t
+(** [eval_ctx env ~ctx e] evaluates [e] with a Verilog context width of
+    [ctx] bits flowing into arithmetic and bitwise operands. *)
+
+val eval_assign : env -> Fpga_hdl.Ast.lvalue -> Fpga_hdl.Ast.expr -> Fpga_bits.Bits.t
+(** Evaluate the right-hand side of an assignment with the target's
+    width as context. *)
+
+(** A write whose indices were resolved against the current cycle, so
+    it can be deferred (non-blocking) and applied at commit time. *)
+type resolved_write =
+  | Wfull of string * Fpga_bits.Bits.t
+  | Wbit of string * int * bool
+  | Wrange of string * int * int * Fpga_bits.Bits.t
+  | Wmem of string * int * Fpga_bits.Bits.t
+  | Wdropped of string
+      (** an out-of-range access on a non-power-of-two structure *)
+
+val resolve_write :
+  env -> Fpga_hdl.Ast.lvalue -> Fpga_bits.Bits.t -> resolved_write list
+
+val lvalue_width : env -> Fpga_hdl.Ast.lvalue -> int
+val apply_write : env -> resolved_write -> unit
+
+val write : env -> Fpga_hdl.Ast.lvalue -> Fpga_bits.Bits.t -> unit
+(** Immediate (blocking) write. *)

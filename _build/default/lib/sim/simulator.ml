@@ -1,0 +1,448 @@
+(* Cycle-accurate two-phase simulator over an elaborated design.
+
+   Each [step] performs one clock cycle:
+     1. settle combinational logic (continuous assigns and always-star blocks),
+     2. execute sequential blocks against the settled pre-edge state,
+        collecting non-blocking writes,
+     3. step builtin IP primitives (FIFOs, RAMs),
+     4. commit non-blocking writes and primitive outputs,
+     5. settle combinational logic again so outputs reflect the new
+        state; $display statements in combinational blocks fire once
+        during this final settle.
+
+   Combinational nodes are topologically ordered at construction;
+   combinational cycles raise [Combinational_cycle]. *)
+
+module Ast = Fpga_hdl.Ast
+module Bits = Fpga_bits.Bits
+open Elaborate
+
+exception Combinational_cycle of string list
+
+type comb_node = Cassign of Ast.lvalue * Ast.expr | Cblock of Ast.stmt list
+
+type fifo_state = {
+  f_depth : int;
+  f_width : int;
+  f_data : Bits.t array;
+  mutable f_head : int;
+  mutable f_count : int;
+}
+
+type ram_state = { r_words : Bits.t array; mutable r_q : Bits.t }
+
+type prim_state =
+  | Pfifo of fprim * fifo_state
+  | Pram of fprim * ram_state
+
+type t = {
+  flat : flat;
+  env : Eval.env;
+  comb_plan : comb_node list;
+  prims : prim_state list;
+  mutable cycle : int;
+  mutable finished : bool;
+  mutable log : (int * string) list;  (* newest first *)
+  mutable display_hook : (int -> string -> unit) option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Combinational scheduling                                            *)
+(* ------------------------------------------------------------------ *)
+
+let node_reads = function
+  | Cassign (l, e) -> Ast.dedup (Ast.expr_reads e @ Ast.lvalue_reads l)
+  | Cblock stmts -> Ast.dedup (List.concat_map Ast.stmt_reads stmts)
+
+let node_writes = function
+  | Cassign (l, _) -> Ast.lvalue_bases l
+  | Cblock stmts -> Ast.dedup (List.concat_map Ast.stmt_writes stmts)
+
+let topo_sort (nodes : comb_node list) : comb_node list =
+  let arr = Array.of_list nodes in
+  let n = Array.length arr in
+  let writes = Array.map node_writes arr in
+  let reads = Array.map node_reads arr in
+  (* writer index for every written signal *)
+  let writers = Hashtbl.create 16 in
+  Array.iteri
+    (fun i ws -> List.iter (fun w -> Hashtbl.add writers w i) ws)
+    writes;
+  let succs i =
+    (* nodes that read what node i writes *)
+    let out = ref [] in
+    List.iter
+      (fun w ->
+        Array.iteri
+          (fun j rs -> if j <> i && List.mem w rs then out := j :: !out)
+          reads)
+      writes.(i);
+    List.sort_uniq Int.compare !out
+  in
+  let state = Array.make n 0 (* 0 unvisited, 1 in-stack, 2 done *) in
+  let order = ref [] in
+  let rec visit i =
+    match state.(i) with
+    | 2 -> ()
+    | 1 ->
+        let cyc = Ast.dedup (writes.(i) @ reads.(i)) in
+        raise (Combinational_cycle cyc)
+    | _ ->
+        state.(i) <- 1;
+        List.iter visit (succs i);
+        state.(i) <- 2;
+        order := i :: !order
+  in
+  for i = 0 to n - 1 do
+    visit i
+  done;
+  (* each node is prepended after its readers, so [order] places every
+     writer before all of its readers *)
+  List.map (fun i -> arr.(i)) !order
+
+(* ------------------------------------------------------------------ *)
+(* Statement interpretation                                            *)
+(* ------------------------------------------------------------------ *)
+
+type exec_ctx = {
+  sim : t;
+  mutable pending : Eval.resolved_write list;  (* reversed *)
+  in_comb_phase : bool;
+  displays_enabled : bool;
+}
+
+let emit_display ctx fmt args =
+  if ctx.displays_enabled then (
+    let vals = List.map (Eval.eval ctx.sim.env) args in
+    let text = Display.render fmt vals in
+    ctx.sim.log <- (ctx.sim.cycle, text) :: ctx.sim.log;
+    match ctx.sim.display_hook with
+    | Some f -> f ctx.sim.cycle text
+    | None -> ())
+
+let rec exec_stmt ctx (s : Ast.stmt) =
+  if not ctx.sim.finished then
+    match s with
+    | Ast.Blocking (l, e) ->
+        (* blocking assignments update immediately, visible to the next
+           statement, in both combinational and sequential blocks *)
+        let v = Eval.eval_assign ctx.sim.env l e in
+        Eval.write ctx.sim.env l v
+    | Ast.Nonblocking (l, e) ->
+        let v = Eval.eval_assign ctx.sim.env l e in
+        if ctx.in_comb_phase then
+          (* non-blocking inside a combinational block degenerates to a
+             blocking update in a two-phase simulator *)
+          Eval.write ctx.sim.env l v
+        else
+          ctx.pending <-
+            List.rev_append (Eval.resolve_write ctx.sim.env l v) ctx.pending
+    | Ast.If (c, t, f) ->
+        if Bits.reduce_or (Eval.eval ctx.sim.env c) then
+          List.iter (exec_stmt ctx) t
+        else List.iter (exec_stmt ctx) f
+    | Ast.Case (e, items, default) -> (
+        let v = Eval.eval ctx.sim.env e in
+        let matches item =
+          List.exists
+            (fun me ->
+              let mv = Eval.eval ctx.sim.env me in
+              let w = max (Bits.width v) (Bits.width mv) in
+              Bits.equal (Bits.resize v w) (Bits.resize mv w))
+            item.Ast.match_exprs
+        in
+        match List.find_opt matches items with
+        | Some item -> List.iter (exec_stmt ctx) item.Ast.body
+        | None -> (
+            match default with
+            | Some body -> List.iter (exec_stmt ctx) body
+            | None -> ()))
+    | Ast.Display (fmt, args) -> emit_display ctx fmt args
+    | Ast.Finish -> ctx.sim.finished <- true
+
+(* ------------------------------------------------------------------ *)
+(* Primitives                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prim_param p name default =
+  Option.value (List.assoc_opt name p.fp_params) ~default
+
+let make_prim_state (p : fprim) : prim_state =
+  match p.fp_kind with
+  | Scfifo | Dcfifo ->
+      let width = prim_param p "lpm_width" 8 in
+      let depth = prim_param p "lpm_numwords" 16 in
+      Pfifo
+        ( p,
+          {
+            f_depth = depth;
+            f_width = width;
+            f_data = Array.make depth (Bits.zero width);
+            f_head = 0;
+            f_count = 0;
+          } )
+  | Altsyncram ->
+      let width = prim_param p "width_a" 8 in
+      let words = prim_param p "numwords_a" 16 in
+      Pram (p, { r_words = Array.make words (Bits.zero width); r_q = Bits.zero width })
+
+let prim_input env (p : fprim) name =
+  match List.assoc_opt name p.fp_inputs with
+  | Some e -> Eval.eval env e
+  | None -> Bits.zero 1
+
+let prim_input_bool env p name = Bits.reduce_or (prim_input env p name)
+
+(* Drive a primitive output signal if it is connected. *)
+let drive env (p : fprim) formal value =
+  match List.assoc_opt formal p.fp_outputs with
+  | None -> ()
+  | Some sig_name -> (
+      match Hashtbl.find_opt env sig_name with
+      | Some (Eval.Vec old) ->
+          Hashtbl.replace env sig_name (Eval.Vec (Bits.resize value (Bits.width old)))
+      | _ -> Hashtbl.replace env sig_name (Eval.Vec value))
+
+let fifo_port_names kind =
+  match kind with
+  | Scfifo -> ("wrreq", "rdreq", "data", "q", "full", "empty", "usedw")
+  | Dcfifo -> ("wrreq", "rdreq", "data", "q", "wrfull", "rdempty", "wrusedw")
+  | Altsyncram -> assert false
+
+let drive_fifo_outputs env (p : fprim) (f : fifo_state) =
+  let _, _, _, q, full, empty, usedw = fifo_port_names p.fp_kind in
+  let front =
+    if f.f_count > 0 then f.f_data.(f.f_head) else Bits.zero f.f_width
+  in
+  drive env p q front;
+  drive env p full (Bits.of_bool (f.f_count >= f.f_depth));
+  drive env p empty (Bits.of_bool (f.f_count = 0));
+  (* [drive] resizes to the connected signal's declared width *)
+  drive env p usedw (Bits.of_int ~width:16 f.f_count)
+
+let step_prim env (ps : prim_state) =
+  match ps with
+  | Pfifo (p, f) ->
+      let wrreq_n, rdreq_n, data_n, _, _, _, _ = fifo_port_names p.fp_kind in
+      let wrreq = prim_input_bool env p wrreq_n in
+      let rdreq = prim_input_bool env p rdreq_n in
+      let data = Bits.resize (prim_input env p data_n) f.f_width in
+      let popped = rdreq && f.f_count > 0 in
+      let pushed = wrreq && f.f_count < f.f_depth in
+      if popped then (
+        f.f_head <- (f.f_head + 1) mod f.f_depth;
+        f.f_count <- f.f_count - 1);
+      if pushed then (
+        f.f_data.((f.f_head + f.f_count) mod f.f_depth) <- data;
+        f.f_count <- f.f_count + 1)
+  | Pram (p, r) ->
+      let addr = Bits.to_int_trunc (prim_input env p "address_a") in
+      let wren = prim_input_bool env p "wren_a" in
+      let data = prim_input env p "data_a" in
+      let size = Array.length r.r_words in
+      let k = if size = 0 then 0 else addr mod size in
+      (* registered read of the old word, then write *)
+      r.r_q <- r.r_words.(k);
+      if wren then
+        r.r_words.(k) <- Bits.resize data (Bits.width r.r_words.(k))
+
+let drive_prim_outputs env ps =
+  match ps with
+  | Pfifo (p, f) -> drive_fifo_outputs env p f
+  | Pram (p, r) -> drive env p "q_a" r.r_q
+
+(* ------------------------------------------------------------------ *)
+(* Construction and stepping                                           *)
+(* ------------------------------------------------------------------ *)
+
+let create (flat : flat) : t =
+  let env : Eval.env = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun name (s : fsignal) ->
+      let v =
+        match s.fs_depth with
+        | Some n ->
+            let init = Option.value s.fs_init ~default:(Bits.zero s.fs_width) in
+            Eval.Mem (Array.make n init)
+        | None ->
+            Eval.Vec
+              (match s.fs_init with
+              | Some b -> Bits.resize b s.fs_width
+              | None -> Bits.zero s.fs_width)
+      in
+      Hashtbl.replace env name v)
+    flat.f_signals;
+  let nodes =
+    List.map (fun (l, e) -> Cassign (l, e)) flat.f_assigns
+    @ List.map (fun b -> Cblock b) flat.f_comb
+  in
+  let comb_plan = topo_sort nodes in
+  let prims = List.map make_prim_state flat.f_prims in
+  let sim =
+    { flat; env; comb_plan; prims; cycle = 0; finished = false; log = [];
+      display_hook = None }
+  in
+  (* initial primitive outputs + settle so outputs are consistent *)
+  List.iter (drive_prim_outputs env) prims;
+  sim
+
+let settle ?(displays = false) (sim : t) =
+  let ctx =
+    { sim; pending = []; in_comb_phase = true; displays_enabled = displays }
+  in
+  List.iter
+    (fun node ->
+      match node with
+      | Cassign (l, e) ->
+          let v = Eval.eval_assign sim.env l e in
+          Eval.write sim.env l v
+      | Cblock stmts -> List.iter (exec_stmt ctx) stmts)
+    sim.comb_plan
+
+let set_input sim name value =
+  match Hashtbl.find_opt sim.env name with
+  | Some (Eval.Vec old) ->
+      Hashtbl.replace sim.env name (Eval.Vec (Bits.resize value (Bits.width old)))
+  | Some (Eval.Mem _) -> invalid_arg "Simulator.set_input: memory"
+  | None -> invalid_arg (Printf.sprintf "Simulator.set_input: unknown %s" name)
+
+let set_input_int sim name v =
+  match Hashtbl.find_opt sim.env name with
+  | Some (Eval.Vec old) ->
+      Hashtbl.replace sim.env name
+        (Eval.Vec (Bits.of_int ~width:(Bits.width old) v))
+  | _ -> invalid_arg (Printf.sprintf "Simulator.set_input_int: unknown %s" name)
+
+let read sim name =
+  match Hashtbl.find_opt sim.env name with
+  | Some (Eval.Vec b) -> b
+  | Some (Eval.Mem _) ->
+      invalid_arg (Printf.sprintf "Simulator.read: %s is a memory" name)
+  | None -> invalid_arg (Printf.sprintf "Simulator.read: unknown %s" name)
+
+let read_int sim name = Bits.to_int_trunc (read sim name)
+
+let read_memory sim name =
+  match Hashtbl.find_opt sim.env name with
+  | Some (Eval.Mem a) -> Array.copy a
+  | _ -> invalid_arg (Printf.sprintf "Simulator.read_memory: %s" name)
+
+(* Run the sequential blocks firing on one clock edge and commit their
+   non-blocking writes. *)
+let edge_phase (sim : t) (edge : Elaborate.clock_edge) ~with_prims =
+  let ctx =
+    { sim; pending = []; in_comb_phase = false; displays_enabled = true }
+  in
+  List.iter
+    (fun (e, _clk, body) ->
+      if e = edge then List.iter (exec_stmt ctx) body)
+    sim.flat.f_seq;
+  if with_prims then List.iter (step_prim sim.env) sim.prims;
+  List.iter (Eval.apply_write sim.env) (List.rev ctx.pending);
+  if with_prims then List.iter (drive_prim_outputs sim.env) sim.prims
+
+let has_negedge (sim : t) =
+  List.exists (fun (e, _, _) -> e = Elaborate.Neg) sim.flat.f_seq
+
+let step (sim : t) =
+  if not sim.finished then (
+    settle sim ~displays:false;
+    (* rising edge: posedge blocks and the clocked IP primitives fire
+       against the settled pre-edge state; displays use those values *)
+    edge_phase sim Elaborate.Pos ~with_prims:true;
+    (* falling edge (half a cycle later): negedge blocks observe the
+       post-posedge state, as in event-driven simulation *)
+    if has_negedge sim then (
+      settle sim ~displays:false;
+      edge_phase sim Elaborate.Neg ~with_prims:false);
+    settle sim ~displays:true;
+    sim.cycle <- sim.cycle + 1)
+
+let run sim n =
+  let i = ref 0 in
+  while !i < n && not sim.finished do
+    step sim;
+    incr i
+  done
+
+let log sim = List.rev sim.log
+let cycle sim = sim.cycle
+let finished sim = sim.finished
+let on_display sim f = sim.display_hook <- Some f
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A deep snapshot of the architectural state: environment, primitive
+   contents, cycle count, and log. Restoring a checkpoint and stepping
+   produces the same trace as the original run - the replay property
+   checkpoint-based FPGA debuggers (DESSERT, StateMover) rely on. *)
+type checkpoint = {
+  cp_env : (string * Eval.value) list;
+  cp_prims : (string * Bits.t array * int * int * Bits.t) list;
+  cp_cycle : int;
+  cp_finished : bool;
+  cp_log : (int * string) list;
+}
+
+let checkpoint (sim : t) : checkpoint =
+  let cp_env =
+    Hashtbl.fold
+      (fun name v acc ->
+        let copy =
+          match v with
+          | Eval.Vec b -> Eval.Vec b
+          | Eval.Mem a -> Eval.Mem (Array.copy a)
+        in
+        (name, copy) :: acc)
+      sim.env []
+  in
+  let cp_prims =
+    List.map
+      (fun ps ->
+        match ps with
+        | Pfifo (p, f) ->
+            (p.fp_name, Array.copy f.f_data, f.f_head, f.f_count, Bits.zero 1)
+        | Pram (p, r) -> (p.fp_name, Array.copy r.r_words, 0, 0, r.r_q))
+      sim.prims
+  in
+  {
+    cp_env;
+    cp_prims;
+    cp_cycle = sim.cycle;
+    cp_finished = sim.finished;
+    cp_log = sim.log;
+  }
+
+let restore (sim : t) (cp : checkpoint) : unit =
+  Hashtbl.reset sim.env;
+  List.iter
+    (fun (name, v) ->
+      let copy =
+        match v with
+        | Eval.Vec b -> Eval.Vec b
+        | Eval.Mem a -> Eval.Mem (Array.copy a)
+      in
+      Hashtbl.replace sim.env name copy)
+    cp.cp_env;
+  List.iter
+    (fun ps ->
+      match ps with
+      | Pfifo (p, f) -> (
+          match List.find_opt (fun (n, _, _, _, _) -> n = p.fp_name) cp.cp_prims with
+          | Some (_, data, head, count, _) ->
+              Array.blit data 0 f.f_data 0 (Array.length data);
+              f.f_head <- head;
+              f.f_count <- count
+          | None -> ())
+      | Pram (p, r) -> (
+          match List.find_opt (fun (n, _, _, _, _) -> n = p.fp_name) cp.cp_prims with
+          | Some (_, words, _, _, q) ->
+              Array.blit words 0 r.r_words 0 (Array.length words);
+              r.r_q <- q
+          | None -> ()))
+    sim.prims;
+  sim.cycle <- cp.cp_cycle;
+  sim.finished <- cp.cp_finished;
+  sim.log <- cp.cp_log

@@ -1,0 +1,76 @@
+(** Cycle-accurate two-phase simulator over an elaborated design.
+
+    Each {!step} performs one clock cycle:
+    + settle combinational logic (continuous assigns and always-star
+      blocks, in a topological order computed at construction),
+    + execute sequential blocks against the settled pre-edge state,
+      collecting non-blocking writes ($display statements fire here,
+      with pre-edge values, as in event-driven simulators),
+    + step the builtin IP primitives (FIFOs, RAMs),
+    + commit the non-blocking writes and primitive outputs,
+    + settle combinational logic again so outputs reflect the new state.
+
+    The simulator assumes a single clock domain: every sequential block
+    fires on every [step], which matches the single-clock subset the
+    testbed uses (dcfifo instances have both clocks tied). *)
+
+exception Combinational_cycle of string list
+(** Raised at construction when continuous assignments / combinational
+    blocks form a dependency cycle; carries the signals involved. *)
+
+type t
+
+val create : Elaborate.flat -> t
+(** Build a simulator with all registers at their declared initial
+    values (zero by default) and primitive outputs settled. *)
+
+val step : t -> unit
+(** Advance one clock cycle. No-op once the design executed [$finish]. *)
+
+val run : t -> int -> unit
+(** [run sim n] steps up to [n] cycles, stopping early on [$finish]. *)
+
+val set_input : t -> string -> Fpga_bits.Bits.t -> unit
+(** Drive a top-level input (resized to its declared width). Takes
+    effect at the next [step]. *)
+
+val set_input_int : t -> string -> int -> unit
+
+val read : t -> string -> Fpga_bits.Bits.t
+(** Read any signal by its flat name (post-settle value). *)
+
+val read_int : t -> string -> int
+(** Low 62 bits of {!read}, as an int. *)
+
+val read_memory : t -> string -> Fpga_bits.Bits.t array
+(** Snapshot of a memory's words — the JTAG-readback analog used by
+    SignalCat's log reconstruction. *)
+
+val log : t -> (int * string) list
+(** All $display output so far, oldest first, as (cycle, text). *)
+
+val cycle : t -> int
+(** Number of completed cycles. *)
+
+val finished : t -> bool
+(** The design executed [$finish]. *)
+
+val on_display : t -> (int -> string -> unit) -> unit
+(** Install a hook called for every $display as it fires. *)
+
+val settle : ?displays:bool -> t -> unit
+(** Settle combinational logic without a clock edge (rarely needed
+    directly; [step] calls it). *)
+
+(** {1 Checkpointing}
+
+    Deep snapshots of the architectural state (registers, memories,
+    primitive contents, cycle count, log), in the spirit of the
+    checkpoint-based FPGA debuggers the paper relates to (DESSERT,
+    StateMover): restoring a checkpoint and re-stepping replays the
+    original trace exactly. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+val restore : t -> checkpoint -> unit

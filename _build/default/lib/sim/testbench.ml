@@ -1,0 +1,48 @@
+(* Testbench driver: the push-button harness used to reproduce each bug
+   in the testbed and to run the tools' dynamic phases. A stimulus is a
+   function from the cycle number to a set of input bindings; the driver
+   applies it, steps the clock, and watches for stop conditions. *)
+
+module Bits = Fpga_bits.Bits
+
+type stimulus = int -> (string * Bits.t) list
+
+type outcome = {
+  cycles_run : int;
+  finished : bool;  (* the design executed $finish *)
+  stuck : bool;  (* a watched condition never became true *)
+  log : (int * string) list;
+}
+
+let const_stimulus bindings _cycle = bindings
+
+(* Drive [sim] for up to [max_cycles] with [stimulus]; stop early when
+   [until] becomes true (if given) or the design finishes. The [stuck]
+   flag reports that [until] was provided but never satisfied - the
+   "application stuck / infinite wait" symptom of Table 2. *)
+let run ?(max_cycles = 10_000) ?until (sim : Simulator.t) (stimulus : stimulus)
+    : outcome =
+  let stop = ref false in
+  let satisfied = ref false in
+  let i = ref 0 in
+  while (not !stop) && !i < max_cycles && not (Simulator.finished sim) do
+    List.iter (fun (n, v) -> Simulator.set_input sim n v) (stimulus !i);
+    Simulator.step sim;
+    (match until with
+    | Some cond when cond sim ->
+        satisfied := true;
+        stop := true
+    | _ -> ());
+    incr i
+  done;
+  {
+    cycles_run = !i;
+    finished = Simulator.finished sim;
+    stuck = (match until with Some _ -> not !satisfied | None -> false);
+    log = Simulator.log sim;
+  }
+
+let of_design ?(top = "top") design =
+  Simulator.create (Elaborate.elaborate design ~top)
+
+let of_source ?(top = "top") src = of_design ~top (Fpga_hdl.Parser.parse_design src)

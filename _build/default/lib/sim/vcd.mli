@@ -1,0 +1,19 @@
+(** Value Change Dump (VCD) writer — the waveform format consumed by
+    GTKWave and most hardware debug tooling. Memories are omitted, as in
+    common simulator defaults; hierarchical '/' separators are rendered
+    as dots. *)
+
+type t
+
+val create : Elaborate.flat -> t
+(** A dump covering every non-memory signal of the elaborated design. *)
+
+val sample : t -> Simulator.t -> unit
+(** Record the signals that changed since the previous sample, stamped
+    with the simulator's cycle count. Call once per {!Simulator.step}. *)
+
+val contents : t -> string
+(** The VCD text accumulated so far (header included). *)
+
+val save : t -> string -> unit
+(** Write {!contents} to a file. *)

@@ -1,0 +1,1 @@
+lib/study/bug_db.ml: List Taxonomy

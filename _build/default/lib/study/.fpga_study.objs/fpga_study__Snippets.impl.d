@@ -1,0 +1,1 @@
+lib/study/snippets.ml: List Taxonomy

@@ -1,0 +1,268 @@
+(* The 68-bug study database (section 3). Each record is one bug found
+   in an open-source FPGA design, classified by root-cause subclass.
+   Aggregating this table regenerates Table 1. The 20 bugs with a
+   [testbed_id] are the ones reproduced push-button in fpga_testbed
+   (Table 2). *)
+
+open Taxonomy
+
+type origin =
+  | Hardcloud  (* HARP acceleration framework samples *)
+  | Optimus_hv  (* HARP hypervisor *)
+  | Zipcpu  (* SDSPI, AXI demos, FFT from zipcpu.com *)
+  | Github_top  (* most-starred FPGA projects *)
+  | Developer  (* direct developer consultation (FADD) *)
+
+type bug = {
+  id : int;
+  application : string;
+  origin : origin;
+  subclass : subclass;
+  symptoms : symptom list;
+  description : string;
+  testbed_id : string option;  (* Table 2 identifier when reproduced *)
+}
+
+let mk id application origin subclass ?(symptoms = common_symptoms subclass)
+    ?testbed description =
+  { id; application; origin; subclass; symptoms; description; testbed_id = testbed }
+
+let all : bug list =
+  [
+    (* ---- Buffer Overflow (5) ------------------------------------- *)
+    mk 1 "Reed-Solomon Decoder" Hardcloud Buffer_overflow ~testbed:"D1"
+      ~symptoms:[ App_stuck; Data_loss; External_error ]
+      "syndrome buffer indexed past its end while streaming blocks";
+    mk 2 "Grayscale" Hardcloud Buffer_overflow ~testbed:"D2"
+      ~symptoms:[ App_stuck; Data_loss ]
+      "pixel line buffer overflows when bursts arrive back-to-back";
+    mk 3 "Optimus" Optimus_hv Buffer_overflow ~testbed:"D3"
+      ~symptoms:[ App_stuck; Data_loss; External_error ]
+      "MMIO response buffer overflow under multiplexed guests";
+    mk 4 "Frame FIFO" Github_top Buffer_overflow ~testbed:"D4"
+      ~symptoms:[ Data_loss ]
+      "frame write pointer wraps over unread frame data";
+    mk 5 "WiFi Controller" Github_top Buffer_overflow
+      "packet staging buffer overflow on maximum-length frames";
+    (* ---- Bit Truncation (12) ------------------------------------- *)
+    mk 6 "SHA512" Hardcloud Bit_truncation ~testbed:"D5"
+      ~symptoms:[ Incorrect_output; External_error ]
+      "cast to 42 bits before the shift drops address bits [47:42]";
+    mk 7 "FFT" Zipcpu Bit_truncation ~testbed:"D6"
+      ~symptoms:[ Incorrect_output ]
+      "butterfly product truncated before rounding stage";
+    mk 8 "Nyuzi GPGPU" Github_top Bit_truncation
+      "instruction immediate sign bits lost in decode";
+    mk 9 "Nyuzi GPGPU" Github_top Bit_truncation
+      "floating-point exponent field narrowed in conversion";
+    mk 10 "CVA6 RISC-V" Github_top Bit_truncation
+      "physical address truncated to virtual width in PTW";
+    mk 11 "CVA6 RISC-V" Github_top Bit_truncation
+      "performance counter truncated on CSR read";
+    mk 12 "VexRiscv" Github_top Bit_truncation
+      "branch target calculation loses carry into bit 31";
+    mk 13 "Bitcoin Miner" Github_top Bit_truncation
+      "nonce counter truncated when chained across cores";
+    mk 14 "Corundum NIC" Github_top Bit_truncation
+      "PCIe DMA length field truncated for 4KB+ transfers";
+    mk 15 "verilog-ethernet" Github_top Bit_truncation
+      "checksum accumulator narrower than folded sum";
+    mk 16 "Analog Devices HDL" Github_top Bit_truncation
+      "DMA burst length register truncated against spec";
+    mk 17 "verilog-axis" Github_top Bit_truncation
+      "keep-mask width mismatch on bus width conversion";
+    (* ---- Misindexing (5) ------------------------------------------ *)
+    mk 18 "FADD" Developer Misindexing ~testbed:"D7"
+      ~symptoms:[ Incorrect_output ]
+      "fraction extracted as bits [23:0] instead of [22:0]";
+    mk 19 "AXI-Stream Switch" Github_top Misindexing ~testbed:"D8"
+      ~symptoms:[ Incorrect_output ]
+      "destination port decoded from the wrong tdest bits";
+    mk 20 "WiFi Controller" Github_top Misindexing
+      "OFDM subcarrier table indexed off by one";
+    mk 21 "Bitcoin Miner" Github_top Misindexing
+      "midstate word selected with reversed word index";
+    mk 22 "Analog Devices HDL" Github_top Misindexing
+      "channel enable bit read from adjacent channel field";
+    (* ---- Endianness Mismatch (1) ---------------------------------- *)
+    mk 23 "SDSPI" Zipcpu Endianness_mismatch ~testbed:"D9"
+      ~symptoms:[ Incorrect_output ]
+      "little-endian sector data passed to big-endian CRC unit";
+    (* ---- Failure-to-Update (5) ------------------------------------ *)
+    mk 24 "SHA512" Hardcloud Failure_to_update ~testbed:"D10"
+      ~symptoms:[ Incorrect_output ]
+      "round counter not reset between independent digests";
+    mk 25 "Frame FIFO" Github_top Failure_to_update ~testbed:"D11"
+      ~symptoms:[ Data_loss ]
+      "drop flag not cleared after an aborted frame";
+    mk 26 "Frame FIFO" Github_top Failure_to_update ~testbed:"D12"
+      ~symptoms:[ Incorrect_output ]
+      "frame length latch kept stale on back-to-back frames";
+    mk 27 "Frame Length Measurer" Github_top Failure_to_update ~testbed:"D13"
+      ~symptoms:[ Incorrect_output ]
+      "output counter not reset by the reset signal";
+    mk 28 "Corundum NIC" Github_top Failure_to_update
+      "completion credit counter missing reset arc";
+    (* ---- Deadlock (3) ---------------------------------------------- *)
+    mk 29 "SDSPI" Zipcpu Deadlock ~testbed:"C1" ~symptoms:[ App_stuck ]
+      "command and data engines wait on each other's busy flags";
+    mk 30 "Nyuzi GPGPU" Github_top Deadlock
+      "L2 writeback queue waits on fill that waits on writeback";
+    mk 31 "CVA6 RISC-V" Github_top Deadlock
+      "store buffer drain gated by a flush that needs the drain";
+    (* ---- Producer-Consumer Mismatch (3) ----------------------------- *)
+    mk 32 "Optimus" Optimus_hv Producer_consumer_mismatch ~testbed:"C2"
+      ~symptoms:[ App_stuck; Data_loss; External_error ]
+      "two guests produce responses in one cycle, one consumer slot";
+    mk 33 "WiFi Controller" Github_top Producer_consumer_mismatch
+      "RF sample producer outpaces FFT consumer without backpressure";
+    mk 34 "verilog-ethernet" Github_top Producer_consumer_mismatch
+      "MAC produces two words per cycle into one-word adapter";
+    (* ---- Signal Asynchrony (10) ------------------------------------ *)
+    mk 35 "SDSPI" Zipcpu Signal_asynchrony ~testbed:"C3"
+      ~symptoms:[ Incorrect_output ]
+      "response valid asserted one cycle before buffered response";
+    mk 36 "AXI-Stream FIFO" Github_top Signal_asynchrony ~testbed:"C4"
+      ~symptoms:[ Data_loss ]
+      "tvalid not delayed with registered tdata on output stage";
+    mk 37 "WiFi Controller" Github_top Signal_asynchrony
+      "IQ sample strobe leads sample bus by a cycle";
+    mk 38 "Nyuzi GPGPU" Github_top Signal_asynchrony
+      "dcache hit flag unsynchronized with returned line";
+    mk 39 "CVA6 RISC-V" Github_top Signal_asynchrony
+      "exception cause updated a cycle after exception valid";
+    mk 40 "VexRiscv" Github_top Signal_asynchrony
+      "interrupt pending sampled in a different stage than enable";
+    mk 41 "Bitcoin Miner" Github_top Signal_asynchrony
+      "golden nonce flag without the nonce it refers to";
+    mk 42 "Corundum NIC" Github_top Signal_asynchrony
+      "descriptor valid leads descriptor fields after bypass";
+    mk 43 "verilog-ethernet" Github_top Signal_asynchrony
+      "FCS error strobe misaligned with last data beat";
+    mk 44 "Analog Devices HDL" Github_top Signal_asynchrony
+      "DMA request toggles before address register settles";
+    (* ---- Use-Without-Valid (1) -------------------------------------- *)
+    mk 45 "verilog-axis" Github_top Use_without_valid
+      ~symptoms:[ Incorrect_output ]
+      "accumulates tdata on cycles where tvalid is low";
+    (* ---- Protocol Violation (3) -------------------------------------- *)
+    mk 46 "AXI-Lite Demo" Zipcpu Protocol_violation ~testbed:"S1"
+      ~symptoms:[ External_error ]
+      "bvalid raised without pending write, violating AXI ordering";
+    mk 47 "AXI-Stream Demo" Zipcpu Protocol_violation ~testbed:"S2"
+      ~symptoms:[ External_error ]
+      "tdata changed while tvalid high and tready low";
+    mk 48 "Corundum NIC" Github_top Protocol_violation
+      "PCIe completion header format violates spec on odd lengths";
+    (* ---- API Misuse (3) ----------------------------------------------- *)
+    mk 49 "Grayscale" Hardcloud Api_misuse
+      "CCI-P request channel used with swapped address/metadata";
+    mk 50 "Analog Devices HDL" Github_top Api_misuse
+      "comparator macro instantiated with operands reversed";
+    mk 51 "VexRiscv" Github_top Api_misuse
+      "FIFO IP configured in normal mode but used as show-ahead";
+    (* ---- Incomplete Implementation (7) --------------------------------- *)
+    mk 52 "AXI-Stream Adapter" Github_top Incomplete_implementation
+      ~testbed:"S3" ~symptoms:[ Incorrect_output ]
+      "narrow-to-wide path ignores a partial final word";
+    mk 53 "WiFi Controller" Github_top Incomplete_implementation
+      "short-preamble frames not handled by the sync FSM";
+    mk 54 "Nyuzi GPGPU" Github_top Incomplete_implementation
+      "denormal operands unhandled in FP pipeline";
+    mk 55 "CVA6 RISC-V" Github_top Incomplete_implementation
+      "misaligned atomics fall through without exception";
+    mk 56 "VexRiscv" Github_top Incomplete_implementation
+      "debug single-step ignores delay-slot state";
+    mk 57 "corundum" Github_top Incomplete_implementation
+      "timestamping absent for oversized frames";
+    mk 58 "verilog-ethernet" Github_top Incomplete_implementation
+      "pause frames parsed but never applied to TX";
+    (* ---- Erroneous Expression (10) -------------------------------------- *)
+    mk 59 "Reed-Solomon Decoder" Hardcloud Erroneous_expression
+      "control: loop bound uses < where <= required (control-flow)";
+    mk 60 "SHA512" Hardcloud Erroneous_expression
+      "data: message schedule rotation amount wrong (data-flow)";
+    mk 61 "FFT" Zipcpu Erroneous_expression
+      "control: stage-done predicate tests wrong counter (control-flow)";
+    mk 62 "WiFi Controller" Github_top Erroneous_expression
+      "data: scrambler polynomial tap XOR wrong bit (data-flow)";
+    mk 63 "Nyuzi GPGPU" Github_top Erroneous_expression
+      "control: cache way selection uses & for && (control-flow)";
+    mk 64 "CVA6 RISC-V" Github_top Erroneous_expression
+      "data: branch offset computed with + instead of - (data-flow)";
+    mk 65 "VexRiscv" Github_top Erroneous_expression
+      "control: hazard check compares wrong pipeline stage (control-flow)";
+    mk 66 "Bitcoin Miner" Github_top Erroneous_expression
+      "data: SHA round constant table entry wrong (data-flow)";
+    mk 67 "Corundum NIC" Github_top Erroneous_expression
+      "control: ring full test off by one (control-flow)";
+    mk 68 "Analog Devices HDL" Github_top Erroneous_expression
+      "data: two's-complement conversion drops sign (data-flow)";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Aggregations for Table 1                                            *)
+(* ------------------------------------------------------------------ *)
+
+let count subclass =
+  List.length (List.filter (fun b -> b.subclass = subclass) all)
+
+let count_class cls =
+  List.length
+    (List.filter (fun b -> class_of_subclass b.subclass = cls) all)
+
+let total = List.length all
+
+type table1_row = {
+  row_class : bug_class;
+  row_subclass : subclass;
+  row_count : int;
+  row_symptoms : symptom list;
+}
+
+let table1 : table1_row list =
+  List.map
+    (fun sc ->
+      {
+        row_class = class_of_subclass sc;
+        row_subclass = sc;
+        row_count = count sc;
+        row_symptoms = common_symptoms sc;
+      })
+    all_subclasses
+
+let testbed_bugs = List.filter (fun b -> b.testbed_id <> None) all
+
+let find_by_testbed_id id =
+  List.find_opt (fun b -> b.testbed_id = Some id) all
+
+(* ------------------------------------------------------------------ *)
+(* Corpus statistics (section 3, "Bug Collection")                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The survey of the 50 most popular FPGA projects on GitHub that
+   motivates mining commit histories instead of bug trackers. *)
+type corpus_stats = {
+  surveyed_projects : int;
+  without_bug_tracker_pct : int;
+  without_repro_tests_pct : int;
+}
+
+let corpus =
+  {
+    surveyed_projects = 50;
+    without_bug_tracker_pct = 56;
+    without_repro_tests_pct = 88;
+  }
+
+let count_origin origin =
+  List.length (List.filter (fun b -> b.origin = origin) all)
+
+let origins = [ Hardcloud; Optimus_hv; Zipcpu; Github_top; Developer ]
+
+let origin_name = function
+  | Hardcloud -> "HardCloud (HARP samples)"
+  | Optimus_hv -> "Optimus hypervisor"
+  | Zipcpu -> "ZipCPU designs"
+  | Github_top -> "top GitHub projects"
+  | Developer -> "developer consultation"

@@ -1,0 +1,57 @@
+(** The 68-bug study database (section 3 of the paper).
+
+    Each record is one bug found in an open-source FPGA design,
+    classified by root-cause subclass; aggregating the table regenerates
+    Table 1. The 20 bugs carrying a [testbed_id] are the ones reproduced
+    push-button in [Fpga_testbed] (Table 2). *)
+
+type origin =
+  | Hardcloud  (** HARP acceleration framework samples *)
+  | Optimus_hv  (** the HARP hypervisor *)
+  | Zipcpu  (** SDSPI, the AXI demos, and the FFT from zipcpu.com *)
+  | Github_top  (** the most-starred FPGA projects *)
+  | Developer  (** direct developer consultation (FADD) *)
+
+type bug = {
+  id : int;
+  application : string;
+  origin : origin;
+  subclass : Taxonomy.subclass;
+  symptoms : Taxonomy.symptom list;
+  description : string;
+  testbed_id : string option;
+}
+
+val all : bug list
+
+val count : Taxonomy.subclass -> int
+val count_class : Taxonomy.bug_class -> int
+val total : int
+
+type table1_row = {
+  row_class : Taxonomy.bug_class;
+  row_subclass : Taxonomy.subclass;
+  row_count : int;
+  row_symptoms : Taxonomy.symptom list;
+}
+
+val table1 : table1_row list
+
+val testbed_bugs : bug list
+val find_by_testbed_id : string -> bug option
+
+(** {1 Corpus statistics (section 3, "Bug Collection")} *)
+
+type corpus_stats = {
+  surveyed_projects : int;
+  without_bug_tracker_pct : int;
+  without_repro_tests_pct : int;
+}
+
+val corpus : corpus_stats
+(** 50 most popular GitHub FPGA projects: 56% without a public bug
+    tracker, 88% without reproduction test cases. *)
+
+val count_origin : origin -> int
+val origins : origin list
+val origin_name : origin -> string

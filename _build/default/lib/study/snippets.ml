@@ -1,0 +1,459 @@
+(* Simplified, runnable code snippets for each bug subclass - the
+   explanatory snippets the paper's artifact ships alongside the
+   testbed. Each snippet is a minimal module pair (buggy, fixed)
+   distilled from the section 3 discussion; the test suite simulates
+   both under [demo_inputs] and checks that the buggy variant diverges
+   on the [observe] signals. *)
+
+open Taxonomy
+
+type t = {
+  subclass : subclass;
+  title : string;
+  explanation : string;
+  top : string;
+  buggy : string;  (* Verilog source *)
+  fixed : string;
+  (* per-cycle input assignments driving the demonstration *)
+  demo_inputs : (string * int) list list;
+  (* output signals whose traces expose the bug *)
+  observe : string list;
+}
+
+let mk subclass title explanation top buggy fixed demo_inputs observe =
+  { subclass; title; explanation; top; buggy; fixed; demo_inputs; observe }
+
+(* --------------------------------------------------------------- *)
+
+let buffer_overflow =
+  mk Buffer_overflow "write past a non-power-of-two buffer"
+    "mybuf has 6 one-bit elements; a write at offset >= 6 is silently \
+     dropped (section 3.2.1 case 2), so the value never reads back"
+    "snippet"
+    {|
+module snippet (input clk, input [3:0] offset, input value, input we,
+                input [3:0] roffset, output rb);
+  reg mybuf [0:5];
+  assign rb = mybuf[roffset];
+  always @(posedge clk) if (we) mybuf[offset] <= value;
+endmodule
+|}
+    {|
+module snippet (input clk, input [3:0] offset, input value, input we,
+                input [3:0] roffset, output rb);
+  reg mybuf [0:15];
+  assign rb = mybuf[roffset];
+  always @(posedge clk) if (we) mybuf[offset] <= value;
+endmodule
+|}
+    [
+      [ ("we", 1); ("offset", 9); ("value", 1); ("roffset", 9) ];
+      [ ("we", 0) ]; [];
+    ]
+    [ "rb" ]
+
+let bit_truncation =
+  mk Bit_truncation "cast before shift drops meaningful bits"
+    "right holds meaningful data in bits [47:6]; casting to 42 bits \
+     before the shift truncates bits [47:42] (the section 3.2.2 example)"
+    "snippet"
+    {|
+module snippet (input clk, input [63:0] right, output reg [41:0] left);
+  always @(posedge clk) left <= right[41:0] >> 6;
+endmodule
+|}
+    {|
+module snippet (input clk, input [63:0] right, output reg [41:0] left);
+  always @(posedge clk) left <= right[47:6];
+endmodule
+|}
+    [ [ ("right", 0x0000_4400_0000_0080) ]; []; [] ]
+    [ "left" ]
+
+let misindexing =
+  mk Misindexing "IEEE-754 fraction extracted with the wrong bits"
+    "the fraction of a 32-bit float is bits [22:0]; extracting [23:0] \
+     folds the exponent's low bit into the mantissa (section 3.2.3)"
+    "snippet"
+    {|
+module snippet (input clk, input [31:0] f, output reg [23:0] frac);
+  always @(posedge clk) frac <= f[23:0];
+endmodule
+|}
+    {|
+module snippet (input clk, input [31:0] f, output reg [23:0] frac);
+  always @(posedge clk) frac <= {1'b0, f[22:0]};
+endmodule
+|}
+    [ [ ("f", 0x3FC0_0000) ]; []; [] ]
+    [ "frac" ]
+
+let endianness_mismatch =
+  mk Endianness_mismatch "little-endian store, big-endian consumer"
+    "the first (most significant on the wire) byte is stored in the low \
+     half before the word reaches a big-endian function (section 3.2.4)"
+    "snippet"
+    {|
+module snippet (input clk, input [7:0] most, input [7:0] least,
+                output reg [15:0] out);
+  reg [15:0] data;
+  always @(posedge clk) begin
+    data[7:0] <= least;
+    data[15:8] <= most;
+    out <= {data[7:0], data[15:8]} ^ 16'h00ff;
+  end
+endmodule
+|}
+    {|
+module snippet (input clk, input [7:0] most, input [7:0] least,
+                output reg [15:0] out);
+  reg [15:0] data;
+  always @(posedge clk) begin
+    data[7:0] <= most;
+    data[15:8] <= least;
+    out <= {data[7:0], data[15:8]} ^ 16'h00ff;
+  end
+endmodule
+|}
+    [ [ ("most", 0x12); ("least", 0x34) ]; []; [] ]
+    [ "out" ]
+
+let failure_to_update =
+  mk Failure_to_update "one counter reset, the other forgotten"
+    "reset clears input_counter but not output_counter, the \
+     section 3.2.5 example verbatim"
+    "snippet"
+    {|
+module snippet (input clk, input reset, input input_valid,
+                input output_ready,
+                output reg [7:0] input_counter,
+                output reg [7:0] output_counter);
+  always @(posedge clk) begin
+    if (input_valid) input_counter <= input_counter + 8'd1;
+    if (output_ready) output_counter <= output_counter + 8'd1;
+    if (reset) input_counter <= 8'd0;
+  end
+endmodule
+|}
+    {|
+module snippet (input clk, input reset, input input_valid,
+                input output_ready,
+                output reg [7:0] input_counter,
+                output reg [7:0] output_counter);
+  always @(posedge clk) begin
+    if (input_valid) input_counter <= input_counter + 8'd1;
+    if (output_ready) output_counter <= output_counter + 8'd1;
+    if (reset) begin
+      input_counter <= 8'd0;
+      output_counter <= 8'd0;
+    end
+  end
+endmodule
+|}
+    [
+      [ ("input_valid", 1); ("output_ready", 1); ("reset", 0) ];
+      [ ("reset", 1); ("input_valid", 0); ("output_ready", 0) ];
+      [ ("reset", 0) ];
+    ]
+    [ "input_counter"; "output_counter" ]
+
+let deadlock =
+  mk Deadlock "circular control dependency"
+    "b waits for a and a waits for b, both initialized to zero: the \
+     assignment to out never executes (section 3.3.1)"
+    "snippet"
+    {|
+module snippet (input clk, input [7:0] result, output reg [7:0] out);
+  reg a;
+  reg b;
+  always @(posedge clk) begin
+    if (a) b <= 1'b1;
+    if (b) a <= 1'b1;
+    if (a) out <= result;
+  end
+endmodule
+|}
+    {|
+module snippet (input clk, input [7:0] result, output reg [7:0] out);
+  reg a = 1'b1;
+  reg b;
+  always @(posedge clk) begin
+    if (a) b <= 1'b1;
+    if (b) a <= 1'b1;
+    if (a) out <= result;
+  end
+endmodule
+|}
+    [ [ ("result", 0x5A) ]; []; []; [] ]
+    [ "out" ]
+
+let producer_consumer =
+  mk Producer_consumer_mismatch "two producers, one slot"
+    "when x_valid and y_valid hold in the same cycle only x is kept; y's \
+     value is lost (section 3.3.2)"
+    "snippet"
+    {|
+module snippet (input clk, input x_valid, input [7:0] x,
+                input y_valid, input [7:0] y,
+                output reg [7:0] out, output reg [7:0] out2);
+  always @(posedge clk) begin
+    if (x_valid) out <= x;
+    else if (y_valid) out <= y;
+  end
+endmodule
+|}
+    {|
+module snippet (input clk, input x_valid, input [7:0] x,
+                input y_valid, input [7:0] y,
+                output reg [7:0] out, output reg [7:0] out2);
+  always @(posedge clk) begin
+    if (x_valid) out <= x;
+    if (y_valid) out2 <= y;
+  end
+endmodule
+|}
+    [ [ ("x_valid", 1); ("x", 0x11); ("y_valid", 1); ("y", 0x22) ]; []; [] ]
+    [ "out"; "out2" ]
+
+let signal_asynchrony =
+  mk Signal_asynchrony "valid one cycle ahead of the data"
+    "the response is buffered for an extra cycle but the valid flag is \
+     raised immediately (section 3.3.3)"
+    "snippet"
+    {|
+module snippet (input clk, input request, input [7:0] input_data,
+                output reg final_response_valid,
+                output reg [7:0] final_response);
+  reg [7:0] buffered_response;
+  always @(posedge clk) begin
+    if (request) buffered_response <= input_data + 8'd1;
+    final_response <= buffered_response;
+    if (request) final_response_valid <= 1'b1;
+    else final_response_valid <= 1'b0;
+  end
+endmodule
+|}
+    {|
+module snippet (input clk, input request, input [7:0] input_data,
+                output reg final_response_valid,
+                output reg [7:0] final_response);
+  reg [7:0] buffered_response;
+  reg delayed_response_valid;
+  always @(posedge clk) begin
+    if (request) buffered_response <= input_data + 8'd1;
+    final_response <= buffered_response;
+    if (request) delayed_response_valid <= 1'b1;
+    else delayed_response_valid <= 1'b0;
+    final_response_valid <= delayed_response_valid;
+  end
+endmodule
+|}
+    [ [ ("request", 1); ("input_data", 0x40) ]; [ ("request", 0) ]; []; [] ]
+    [ "final_response_valid"; "final_response" ]
+
+let use_without_valid =
+  mk Use_without_valid "accumulating invalid data"
+    "data is guarded by data_valid but the accumulator uses it every \
+     cycle (section 3.3.4)"
+    "snippet"
+    {|
+module snippet (input clk, input data_valid, input [7:0] data,
+                output reg [7:0] sum);
+  always @(posedge clk) sum <= sum + data;
+endmodule
+|}
+    {|
+module snippet (input clk, input data_valid, input [7:0] data,
+                output reg [7:0] sum);
+  always @(posedge clk) begin
+    if (data_valid) sum <= sum + data;
+    else sum <= sum;
+  end
+endmodule
+|}
+    [
+      [ ("data_valid", 1); ("data", 5) ];
+      [ ("data_valid", 0); ("data", 99) ];
+      [ ("data", 0) ];
+    ]
+    [ "sum" ]
+
+let protocol_violation =
+  mk Protocol_violation "response before the write data"
+    "BVALID rises after the address handshake alone, before any data \
+     beat arrived - an AXI ordering violation (section 3.4.1)"
+    "snippet"
+    {|
+module snippet (input clk, input awvalid, input wvalid,
+                output reg bvalid, output reg w_seen);
+  reg aw_seen;
+  always @(posedge clk) begin
+    if (awvalid) aw_seen <= 1'b1;
+    if (wvalid) w_seen <= 1'b1;
+    if (aw_seen) bvalid <= 1'b1;
+  end
+endmodule
+|}
+    {|
+module snippet (input clk, input awvalid, input wvalid,
+                output reg bvalid, output reg w_seen);
+  reg aw_seen;
+  always @(posedge clk) begin
+    if (awvalid) aw_seen <= 1'b1;
+    if (wvalid) w_seen <= 1'b1;
+    if (aw_seen && w_seen) bvalid <= 1'b1;
+  end
+endmodule
+|}
+    [ [ ("awvalid", 1); ("wvalid", 0) ]; [ ("awvalid", 0) ]; []; [ ("wvalid", 1) ]; [ ("wvalid", 0) ]; [] ]
+    [ "bvalid" ]
+
+let api_misuse =
+  mk Api_misuse "module instantiated with swapped operands"
+    "greater_than computes x > y; connecting a to y and b to x makes the \
+     instance compute b > a (the section 3.4.2 example)"
+    "snippet"
+    {|
+module greater_than (input [7:0] x, input [7:0] y, output result);
+  assign result = x > y;
+endmodule
+
+module snippet (input clk, input [7:0] a, input [7:0] b, output reg out);
+  wire r;
+  greater_than a_greater_than_b (.x(b), .y(a), .result(r));
+  always @(posedge clk) out <= r;
+endmodule
+|}
+    {|
+module greater_than (input [7:0] x, input [7:0] y, output result);
+  assign result = x > y;
+endmodule
+
+module snippet (input clk, input [7:0] a, input [7:0] b, output reg out);
+  wire r;
+  greater_than a_greater_than_b (.x(a), .y(b), .result(r));
+  always @(posedge clk) out <= r;
+endmodule
+|}
+    [ [ ("a", 9); ("b", 4) ]; []; [] ]
+    [ "out" ]
+
+let incomplete_implementation =
+  mk Incomplete_implementation "unhandled corner case"
+    "the narrow-to-wide adapter never flushes a frame ending on its low \
+     half (section 3.4.3)"
+    "snippet"
+    {|
+module snippet (input clk, input in_valid, input [7:0] in_data,
+                input in_last, output reg out_valid, output reg [15:0] out_data);
+  reg half;
+  reg [7:0] low_byte;
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (in_valid) begin
+      if (!half) begin
+        low_byte <= in_data;
+        half <= 1'b1;
+      end else begin
+        out_valid <= 1'b1;
+        out_data <= {in_data, low_byte};
+        half <= 1'b0;
+      end
+    end
+  end
+endmodule
+|}
+    {|
+module snippet (input clk, input in_valid, input [7:0] in_data,
+                input in_last, output reg out_valid, output reg [15:0] out_data);
+  reg half;
+  reg [7:0] low_byte;
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (in_valid) begin
+      if (!half) begin
+        low_byte <= in_data;
+        half <= 1'b1;
+        if (in_last) begin
+          out_valid <= 1'b1;
+          out_data <= {8'd0, in_data};
+          half <= 1'b0;
+        end
+      end else begin
+        out_valid <= 1'b1;
+        out_data <= {in_data, low_byte};
+        half <= 1'b0;
+      end
+    end
+  end
+endmodule
+|}
+    [
+      [ ("in_valid", 1); ("in_data", 0xA1); ("in_last", 0) ];
+      [ ("in_data", 0xA2) ];
+      [ ("in_data", 0xA3); ("in_last", 1) ];
+      [ ("in_valid", 0); ("in_last", 0) ];
+      [];
+    ]
+    [ "out_valid"; "out_data" ]
+
+let erroneous_expression =
+  mk Erroneous_expression "off-by-one loop bound"
+    "the last element is skipped because the control expression uses < \
+     where <= is required (section 3.4.4, control-flow flavor)"
+    "snippet"
+    {|
+module snippet (input clk, input start, input [3:0] limit,
+                output reg busy, output reg [7:0] acc);
+  reg [3:0] i;
+  always @(posedge clk) begin
+    if (start) begin
+      busy <= 1'b1;
+      i <= 4'd0;
+      acc <= 8'd0;
+    end else if (busy) begin
+      if (i < limit) begin
+        acc <= acc + {4'd0, i};
+        i <= i + 4'd1;
+      end else begin
+        busy <= 1'b0;
+      end
+    end
+  end
+endmodule
+|}
+    {|
+module snippet (input clk, input start, input [3:0] limit,
+                output reg busy, output reg [7:0] acc);
+  reg [3:0] i;
+  always @(posedge clk) begin
+    if (start) begin
+      busy <= 1'b1;
+      i <= 4'd0;
+      acc <= 8'd0;
+    end else if (busy) begin
+      if (i <= limit) begin
+        acc <= acc + {4'd0, i};
+        i <= i + 4'd1;
+      end else begin
+        busy <= 1'b0;
+      end
+    end
+  end
+endmodule
+|}
+    [
+      [ ("start", 1); ("limit", 3) ];
+      [ ("start", 0) ]; []; []; []; []; []; [];
+    ]
+    [ "acc" ]
+
+let all : t list =
+  [
+    buffer_overflow; bit_truncation; misindexing; endianness_mismatch;
+    failure_to_update; deadlock; producer_consumer; signal_asynchrony;
+    use_without_valid; protocol_violation; api_misuse;
+    incomplete_implementation; erroneous_expression;
+  ]
+
+let find subclass = List.find_opt (fun s -> s.subclass = subclass) all

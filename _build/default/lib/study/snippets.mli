@@ -1,0 +1,22 @@
+(** Simplified, runnable code snippets for each bug subclass — the
+    explanatory snippets the paper's artifact ships alongside the
+    testbed. Each is a minimal buggy/fixed module pair distilled from
+    the section 3 discussion; the test suite simulates both under
+    [demo_inputs] and checks that they diverge on [observe]. *)
+
+type t = {
+  subclass : Taxonomy.subclass;
+  title : string;
+  explanation : string;
+  top : string;
+  buggy : string;  (** Verilog source *)
+  fixed : string;
+  demo_inputs : (string * int) list list;
+      (** per-cycle input assignments driving the demonstration *)
+  observe : string list;  (** output signals whose traces expose the bug *)
+}
+
+val all : t list
+(** One snippet per subclass, in Table 1 order. *)
+
+val find : Taxonomy.subclass -> t option

@@ -1,0 +1,106 @@
+(* The root-cause-based bug taxonomy of section 3: three classes
+   mirroring Li et al.'s software bug study, thirteen subclasses. *)
+
+type bug_class = Data_mis_access | Communication | Semantic
+
+type subclass =
+  (* data mis-access *)
+  | Buffer_overflow
+  | Bit_truncation
+  | Misindexing
+  | Endianness_mismatch
+  | Failure_to_update
+  (* communication *)
+  | Deadlock
+  | Producer_consumer_mismatch
+  | Signal_asynchrony
+  | Use_without_valid
+  (* semantic *)
+  | Protocol_violation
+  | Api_misuse
+  | Incomplete_implementation
+  | Erroneous_expression
+
+type symptom = App_stuck | Data_loss | Incorrect_output | External_error
+
+let class_of_subclass = function
+  | Buffer_overflow | Bit_truncation | Misindexing | Endianness_mismatch
+  | Failure_to_update ->
+      Data_mis_access
+  | Deadlock | Producer_consumer_mismatch | Signal_asynchrony
+  | Use_without_valid ->
+      Communication
+  | Protocol_violation | Api_misuse | Incomplete_implementation
+  | Erroneous_expression ->
+      Semantic
+
+let all_subclasses =
+  [
+    Buffer_overflow; Bit_truncation; Misindexing; Endianness_mismatch;
+    Failure_to_update; Deadlock; Producer_consumer_mismatch; Signal_asynchrony;
+    Use_without_valid; Protocol_violation; Api_misuse;
+    Incomplete_implementation; Erroneous_expression;
+  ]
+
+let class_name = function
+  | Data_mis_access -> "Data Mis-Access"
+  | Communication -> "Communication"
+  | Semantic -> "Semantic"
+
+let subclass_name = function
+  | Buffer_overflow -> "Buffer Overflow"
+  | Bit_truncation -> "Bit Truncation"
+  | Misindexing -> "Misindexing"
+  | Endianness_mismatch -> "Endianness Mismatch"
+  | Failure_to_update -> "Failure-to-Update"
+  | Deadlock -> "Deadlock"
+  | Producer_consumer_mismatch -> "Producer-Consumer Mismatch"
+  | Signal_asynchrony -> "Signal Asynchrony"
+  | Use_without_valid -> "Use-Without-Valid"
+  | Protocol_violation -> "Protocol Violation"
+  | Api_misuse -> "API Misuse"
+  | Incomplete_implementation -> "Incomplete Implementation"
+  | Erroneous_expression -> "Erroneous Expression"
+
+let symptom_name = function
+  | App_stuck -> "App Stuck"
+  | Data_loss -> "Data Loss"
+  | Incorrect_output -> "Incorrect Output"
+  | External_error -> "External"
+
+(* Common symptoms per subclass, the checkmark columns of Table 1. *)
+let common_symptoms = function
+  | Buffer_overflow -> [ Data_loss ]
+  | Bit_truncation -> [ Incorrect_output; External_error ]
+  | Misindexing -> [ Data_loss; Incorrect_output ]
+  | Endianness_mismatch -> [ Incorrect_output ]
+  | Failure_to_update -> [ Data_loss; Incorrect_output; External_error ]
+  | Deadlock -> [ App_stuck ]
+  | Producer_consumer_mismatch -> [ App_stuck; Data_loss; Incorrect_output ]
+  | Signal_asynchrony -> [ Incorrect_output ]
+  | Use_without_valid -> [ Incorrect_output ]
+  | Protocol_violation -> [ App_stuck; Incorrect_output; External_error ]
+  | Api_misuse -> [ Incorrect_output ]
+  | Incomplete_implementation -> [ Incorrect_output ]
+  | Erroneous_expression -> [ Incorrect_output ]
+
+(* Typical repairs per subclass, from the "Fixes" paragraphs of
+   sections 3.2-3.4. *)
+let common_fix = function
+  | Buffer_overflow ->
+      "enlarge the buffer or change the design to avoid the overflow"
+  | Bit_truncation ->
+      "shift before casting, or grow the variable that truncates"
+  | Misindexing -> "correct the index"
+  | Endianness_mismatch -> "swap the bytes to match the consumer's endianness"
+  | Failure_to_update -> "reset/update every relevant signal"
+  | Deadlock -> "break the circular dependency (e.g. initialize one side)"
+  | Producer_consumer_mismatch ->
+      "buffer the produced values, or backpressure the producer"
+  | Signal_asynchrony -> "delay the companion signal to re-synchronize"
+  | Use_without_valid -> "guard the use with the valid interface"
+  | Protocol_violation ->
+      "match the implementation to the protocol, covering corner cases"
+  | Api_misuse -> "fix the connections/configuration to the module's API"
+  | Incomplete_implementation -> "implement the missing functionality"
+  | Erroneous_expression -> "correct the control- or data-flow expression"

@@ -1,0 +1,37 @@
+(** The root-cause-based bug taxonomy of section 3: three classes
+    mirroring Li et al.'s software bug study, thirteen subclasses. *)
+
+type bug_class =
+  | Data_mis_access  (** cf. software memory bugs *)
+  | Communication  (** cf. software concurrency bugs *)
+  | Semantic  (** cf. software semantic bugs *)
+
+type subclass =
+  | Buffer_overflow
+  | Bit_truncation
+  | Misindexing
+  | Endianness_mismatch
+  | Failure_to_update
+  | Deadlock
+  | Producer_consumer_mismatch
+  | Signal_asynchrony
+  | Use_without_valid
+  | Protocol_violation
+  | Api_misuse
+  | Incomplete_implementation
+  | Erroneous_expression
+
+type symptom = App_stuck | Data_loss | Incorrect_output | External_error
+
+val class_of_subclass : subclass -> bug_class
+val all_subclasses : subclass list
+
+val class_name : bug_class -> string
+val subclass_name : subclass -> string
+val symptom_name : symptom -> string
+
+val common_symptoms : subclass -> symptom list
+(** The checkmark columns of Table 1. *)
+
+val common_fix : subclass -> string
+(** The typical repair, from the "Fixes" paragraphs of sections 3.2-3.4. *)

@@ -1,0 +1,1 @@
+lib/testbed/app_axis_demo.ml: Bug Fpga_resources Fpga_sim Fpga_study List Printf

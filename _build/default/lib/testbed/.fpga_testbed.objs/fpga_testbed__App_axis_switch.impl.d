@@ -1,0 +1,1 @@
+lib/testbed/app_axis_switch.ml: Bug Fpga_bits Fpga_resources Fpga_sim Fpga_study List Printf

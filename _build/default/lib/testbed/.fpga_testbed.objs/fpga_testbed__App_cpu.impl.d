@@ -1,0 +1,1 @@
+lib/testbed/app_cpu.ml: Bug Extended Fpga_bits Fpga_sim Fpga_study List Printf

@@ -1,0 +1,1 @@
+lib/testbed/app_fft.ml: Bug Fpga_bits Fpga_resources Fpga_sim Fpga_study List Printf

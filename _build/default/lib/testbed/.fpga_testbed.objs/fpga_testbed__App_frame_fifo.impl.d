@@ -1,0 +1,1 @@
+lib/testbed/app_frame_fifo.ml: Bug Fpga_bits Fpga_debug Fpga_hdl Fpga_resources Fpga_sim Fpga_study List Printf

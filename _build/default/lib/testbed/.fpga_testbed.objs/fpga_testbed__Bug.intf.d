@@ -1,0 +1,1 @@
+lib/testbed/bug.mli: Fpga_bits Fpga_debug Fpga_hdl Fpga_resources Fpga_sim Fpga_study

@@ -1,0 +1,1 @@
+lib/testbed/extended.ml: Bug Fpga_bits Fpga_debug Fpga_resources Fpga_sim Fpga_study List Printf

@@ -1,0 +1,1 @@
+lib/testbed/recipe.ml: Bug Fpga_debug Fpga_hdl Fpga_resources List Option

@@ -1,0 +1,1 @@
+lib/testbed/recipe.mli: Bug Fpga_debug Fpga_hdl Fpga_resources

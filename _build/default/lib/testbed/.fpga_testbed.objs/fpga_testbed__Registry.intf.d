@@ -1,0 +1,1 @@
+lib/testbed/registry.mli: Bug

@@ -1,0 +1,106 @@
+(* S1 - Protocol violation in an AXI-Lite endpoint (Xilinx demo).
+
+   The endpoint raises BVALID as soon as the write-address handshake
+   completes, without waiting for the write-data beat - a violation of
+   AXI write ordering that only an external protocol checker notices
+   (the design itself works when address and data happen to arrive
+   together, which is why it escapes simulation testing). *)
+
+module Simulator = Fpga_sim.Simulator
+
+let set k v l = (k, v) :: List.remove_assoc k l
+
+let source ~buggy =
+  let bcond = if buggy then "aw_seen" else "aw_seen && w_seen" in
+  Printf.sprintf
+    {|
+module axil_write (
+  input clk,
+  input reset,
+  input awvalid,
+  input wvalid,
+  input [7:0] wdata,
+  input bready,
+  output awready,
+  output wready,
+  output reg bvalid,
+  output reg [7:0] regfile,
+  output reg [3:0] writes_done
+);
+  reg aw_seen;
+  reg w_seen;
+
+  assign awready = !aw_seen;
+  assign wready = !w_seen;
+
+  always @(posedge clk) begin
+    if (reset) begin
+      aw_seen <= 1'b0;
+      w_seen <= 1'b0;
+      bvalid <= 1'b0;
+      writes_done <= 4'd0;
+    end else begin
+      if (awvalid && !aw_seen) aw_seen <= 1'b1;
+      if (wvalid && !w_seen) begin
+        w_seen <= 1'b1;
+        regfile <= wdata;
+      end
+      if (%s && !bvalid) bvalid <= 1'b1;
+      if (bvalid && bready) begin
+        bvalid <= 1'b0;
+        aw_seen <= 1'b0;
+        w_seen <= 1'b0;
+        writes_done <= writes_done + 4'd1;
+      end
+    end
+  end
+endmodule
+|}
+    bcond
+
+(* The address arrives three cycles before the data - the corner the
+   demo never simulated. *)
+let stimulus cycle =
+  let base =
+    [ ("reset", Bug.lo); ("awvalid", Bug.lo); ("wvalid", Bug.lo);
+      ("bready", Bug.hi) ]
+  in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle = 2 then set "awvalid" Bug.hi base
+  else if cycle = 5 then
+    base |> set "wvalid" Bug.hi
+    |> set "wdata" (Fpga_bits.Bits.of_int ~width:8 0x9C)
+  else base
+
+let bug : Bug.t =
+  {
+    id = "S1";
+    subclass = Fpga_study.Taxonomy.Protocol_violation;
+    application = "AXI-Lite Demo";
+    platform = Fpga_resources.Platforms.Xilinx;
+    symptoms = [ Fpga_study.Taxonomy.External_error ];
+    helpful_tools = [ Bug.SC; Bug.FSM ];
+    description =
+      "BVALID raised after the address handshake alone, before the \
+       write-data beat, violating AXI write ordering";
+    top = "axil_write";
+    buggy_src = source ~buggy:true;
+    fixed_src = source ~buggy:false;
+    stimulus;
+    max_cycles = 20;
+    sample = (fun _ -> None);
+    done_when = Some (fun sim -> Simulator.read_int sim "writes_done" >= 1);
+    ext_monitor =
+      Some
+        (fun sim ->
+          (* AXI protocol checker: a write response without write data *)
+          Simulator.read_int sim "bvalid" = 1
+          && Simulator.read_int sim "w_seen" = 0);
+    loss_spec = None;
+    loss_root = None;
+    ground_truth = [];
+    manual_fsms = [ "bvalid"; "aw_seen"; "w_seen" ];
+    stat_events = [ ("responses", "bvalid") ];
+    dep_target = Some "bvalid";
+    target_mhz = 200;
+  }

@@ -1,0 +1,109 @@
+(* S3 - Incomplete implementation in an AXI-Stream width adapter
+   (generic).
+
+   The 8-to-16-bit adapter packs two bytes per output beat. A frame
+   with an odd byte count ends on the low half; the flush path for that
+   corner was copy-pasted from the normal path, so the final beat pairs
+   the last byte with a stale byte from the previous beat instead of
+   zero-padding. *)
+
+module Bits = Fpga_bits.Bits
+module Simulator = Fpga_sim.Simulator
+
+let set k v l = (k, v) :: List.remove_assoc k l
+
+let source ~buggy =
+  let flush =
+    if buggy then "out_data <= {in_data, low_byte};"
+    else "out_data <= {8'd0, in_data};"
+  in
+  Printf.sprintf
+    {|
+module axis_adapter (
+  input clk,
+  input reset,
+  input in_valid,
+  input [7:0] in_data,
+  input in_last,
+  output reg out_valid,
+  output reg [15:0] out_data,
+  output reg out_last
+);
+  reg half;
+  reg [7:0] low_byte;
+
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    out_last <= 1'b0;
+    if (reset) begin
+      half <= 1'b0;
+    end else if (in_valid) begin
+      if (!half) begin
+        low_byte <= in_data;
+        half <= ~half;
+        if (in_last) begin
+          // odd-length frame: flush the final byte
+          out_valid <= 1'b1;
+          %s
+          out_last <= 1'b1;
+          half <= 1'b0;
+        end
+      end else begin
+        out_valid <= 1'b1;
+        out_data <= {in_data, low_byte};
+        out_last <= in_last;
+        half <= ~half;
+      end
+    end
+  end
+endmodule
+|}
+    flush
+
+(* A 3-byte frame (odd) followed by a 2-byte frame. *)
+let stimulus cycle =
+  let bytes =
+    [ (0xA1, false); (0xA2, false); (0xA3, true); (0xB1, false); (0xB2, true) ]
+  in
+  let base = [ ("reset", Bug.lo); ("in_valid", Bug.lo); ("in_last", Bug.lo) ] in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle >= 2 && cycle - 2 < List.length bytes then (
+    let data, last = List.nth bytes (cycle - 2) in
+    base |> set "in_valid" Bug.hi
+    |> set "in_data" (Bits.of_int ~width:8 data)
+    |> set "in_last" (if last then Bug.hi else Bug.lo))
+  else base
+
+let bug : Bug.t =
+  {
+    id = "S3";
+    subclass = Fpga_study.Taxonomy.Incomplete_implementation;
+    application = "AXI-Stream Adapter";
+    platform = Fpga_resources.Platforms.Generic;
+    symptoms = [ Fpga_study.Taxonomy.Incorrect_output ];
+    helpful_tools = [ Bug.SC; Bug.Dep ];
+    description =
+      "the odd-length flush path pairs the final byte with a stale byte \
+       instead of zero-padding";
+    top = "axis_adapter";
+    buggy_src = source ~buggy:true;
+    fixed_src = source ~buggy:false;
+    stimulus;
+    max_cycles = 16;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some
+            [ ("data", Simulator.read_int sim "out_data");
+              ("last", Simulator.read_int sim "out_last") ]
+        else None);
+    done_when = None;
+    ext_monitor = None;
+    loss_spec = None;
+    loss_root = None;
+    ground_truth = [];
+    manual_fsms = [ "half" ];  (* byte-phase FSM: missed by the heuristic *)
+    stat_events = [ ("bytes_in", "in_valid"); ("beats_out", "out_valid") ];
+    dep_target = Some "out_data";
+    target_mhz = 200;
+  }

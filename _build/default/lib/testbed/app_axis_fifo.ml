@@ -1,0 +1,122 @@
+(* C4 - Signal asynchrony in an AXI-Stream FIFO output stage (generic).
+
+   The FIFO (an scfifo IP) is popped based only on emptiness, not on
+   whether the output skid register is free: under downstream
+   backpressure freshly popped words overwrite the pending word in the
+   skid register. The pop strobe is out of sync with the registered data
+   path - words vanish. *)
+
+module Bits = Fpga_bits.Bits
+module Simulator = Fpga_sim.Simulator
+
+let set k v l = (k, v) :: List.remove_assoc k l
+
+let source ~buggy =
+  let pop =
+    if buggy then "assign pop = !empty;"
+    else "assign pop = !empty && (!stage_vld || out_ready);"
+  in
+  Printf.sprintf
+    {|
+module axis_fifo (
+  input clk,
+  input reset,
+  input in_valid,
+  input [7:0] in_data,
+  input out_ready,
+  output reg out_valid,
+  output reg [7:0] out_data
+);
+  wire [7:0] q;
+  wire empty;
+  wire full;
+  wire pop;
+  reg [7:0] stage;
+  reg stage_vld;
+
+  scfifo #(.lpm_width(8), .lpm_numwords(8)) u_fifo (
+    .clock(clk), .data(in_data), .wrreq(in_valid), .rdreq(pop),
+    .q(q), .empty(empty), .full(full));
+
+  %s
+
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (reset) begin
+      stage_vld <= 1'b0;
+    end else begin
+      if (stage_vld && out_ready) begin
+        out_valid <= 1'b1;
+        out_data <= stage;
+        stage_vld <= 1'b0;
+      end
+      if (pop) begin
+        stage <= q;
+        stage_vld <= 1'b1;
+      end
+    end
+  end
+endmodule
+|}
+    pop
+
+(* Five words pushed while the consumer stalls; the buggy stage register
+   is overwritten four times. *)
+let stimulus cycle =
+  let base =
+    [ ("reset", Bug.lo); ("in_valid", Bug.lo);
+      ("out_ready", if cycle < 14 then Bug.lo else Bug.hi) ]
+  in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle >= 2 && cycle < 7 then
+    base |> set "in_valid" Bug.hi
+    |> set "in_data" (Bits.of_int ~width:8 (0xE0 + cycle))
+  else base
+
+let ground_truth_stimulus cycle =
+  let base =
+    [ ("reset", Bug.lo); ("in_valid", Bug.lo); ("out_ready", Bug.hi) ]
+  in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle >= 2 && cycle < 5 then
+    base |> set "in_valid" Bug.hi
+    |> set "in_data" (Bits.of_int ~width:8 (0x30 + cycle))
+  else base
+
+let bug : Bug.t =
+  {
+    id = "C4";
+    subclass = Fpga_study.Taxonomy.Signal_asynchrony;
+    application = "AXI-Stream FIFO";
+    platform = Fpga_resources.Platforms.Generic;
+    symptoms = [ Fpga_study.Taxonomy.Data_loss ];
+    helpful_tools = [ Bug.SC; Bug.Stat; Bug.LC ];
+    description =
+      "the FIFO pop strobe ignores the skid register's occupancy, so \
+       popped words overwrite the pending word under backpressure";
+    top = "axis_fifo";
+    buggy_src = source ~buggy:true;
+    fixed_src = source ~buggy:false;
+    stimulus;
+    max_cycles = 40;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some [ ("out_data", Simulator.read_int sim "out_data") ]
+        else None);
+    done_when = None;
+    ext_monitor = None;
+    loss_spec =
+      Some
+        {
+          Fpga_debug.Losscheck.source = "in_data";
+          valid = Fpga_hdl.Ast.Ident "in_valid";
+          sink = "out_data";
+        };
+    loss_root = Some "stage";
+    ground_truth = [ (ground_truth_stimulus, 20) ];
+    manual_fsms = [ "stage_vld" ];
+    stat_events = [ ("words_in", "in_valid"); ("words_out", "out_valid") ];
+    dep_target = Some "out_data";
+    target_mhz = 200;
+  }

@@ -1,0 +1,79 @@
+(* D8 - Misindexing in an AXI-Stream switch (generic).
+
+   The output port is decoded from tdest bits [2:1] instead of [1:0],
+   so beats are routed to the wrong destination. *)
+
+module Bits = Fpga_bits.Bits
+module Simulator = Fpga_sim.Simulator
+
+let set k v l = (k, v) :: List.remove_assoc k l
+
+let source ~buggy =
+  let sel = if buggy then "in_dest[2:1]" else "in_dest[1:0]" in
+  Printf.sprintf
+    {|
+module axis_switch (
+  input clk,
+  input reset,
+  input in_valid,
+  input [7:0] in_data,
+  input [3:0] in_dest,
+  output reg out_valid,
+  output reg [1:0] out_port,
+  output reg [7:0] out_data
+);
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (!reset && in_valid) begin
+      out_valid <= 1'b1;
+      out_port <= %s;
+      out_data <= in_data;
+    end
+  end
+endmodule
+|}
+    sel
+
+let beats = [ (1, 0xAA); (2, 0xBB); (3, 0xCC); (0, 0xDD) ]
+
+let stimulus cycle =
+  let base = [ ("reset", Bug.lo); ("in_valid", Bug.lo) ] in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle >= 2 && cycle - 2 < List.length beats then (
+    let dest, data = List.nth beats (cycle - 2) in
+    base |> set "in_valid" Bug.hi
+    |> set "in_dest" (Bits.of_int ~width:4 dest)
+    |> set "in_data" (Bits.of_int ~width:8 data))
+  else base
+
+let bug : Bug.t =
+  {
+    id = "D8";
+    subclass = Fpga_study.Taxonomy.Misindexing;
+    application = "AXI-Stream Switch";
+    platform = Fpga_resources.Platforms.Generic;
+    symptoms = [ Fpga_study.Taxonomy.Incorrect_output ];
+    helpful_tools = [ Bug.SC; Bug.Dep ];
+    description = "output port decoded from tdest[2:1] instead of tdest[1:0]";
+    top = "axis_switch";
+    buggy_src = source ~buggy:true;
+    fixed_src = source ~buggy:false;
+    stimulus;
+    max_cycles = 12;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some
+            [ ("port", Simulator.read_int sim "out_port");
+              ("data", Simulator.read_int sim "out_data") ]
+        else None);
+    done_when = None;
+    ext_monitor = None;
+    loss_spec = None;
+    loss_root = None;
+    ground_truth = [];
+    manual_fsms = [];
+    stat_events = [ ("beats_out", "out_valid") ];
+    dep_target = Some "out_port";
+    target_mhz = 200;
+  }

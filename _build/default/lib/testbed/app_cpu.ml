@@ -1,0 +1,214 @@
+(* A reduced in-order CPU core ("cpu_lite", 16-bit instructions, eight
+   registers) standing in for the study's RISC-V cores, carrying two
+   more reproduced study bugs:
+
+   E7 - Bit truncation (VexRiscv, study bug #12): the branch target
+   adder computes over the low seven PC bits only, losing the carry
+   into the top bit ("branch target calculation loses carry into
+   bit 31", scaled to the 8-bit PC); branches taken from addresses
+   >= 128 land in low memory and execute the wrong code.
+
+   E8 - Signal asynchrony (CVA6, study bug #39): the exception-valid
+   flag rises in the cycle the illegal instruction retires, but the
+   cause register is staged one cycle behind it, so the trap monitor
+   samples a stale cause.
+
+   ISA (instr[15:13] = opcode, [12:10] = rd, [9:7] = rs1, [6:0] = imm7
+   or [6:4] = rs2):
+     0 ADDI rd, rs1, simm7      3 OUT rs1
+     1 ADD  rd, rs1, rs2        4 HALT
+     2 BEQZ rs1, simm7          others: illegal-instruction trap *)
+
+module Bits = Fpga_bits.Bits
+module Simulator = Fpga_sim.Simulator
+module Taxonomy = Fpga_study.Taxonomy
+
+let set k v l = (k, v) :: List.remove_assoc k l
+
+let source ~branch_buggy ~exc_buggy =
+  let btarget =
+    if branch_buggy then "{1'b0, pc[6:0]} + {imm7[6], imm7}"
+    else "pc + {imm7[6], imm7}"
+  in
+  let exc_logic =
+    if exc_buggy then
+      {|exc_valid <= 1'b1;
+          cause_stage <= {1'b0, opcode};
+          halted <= 1'b1;|}
+    else
+      {|exc_valid <= 1'b1;
+          exc_cause <= {1'b0, opcode};
+          halted <= 1'b1;|}
+  in
+  let exc_stage_update =
+    if exc_buggy then "exc_cause <= cause_stage;" else ""
+  in
+  Printf.sprintf
+    {|
+module cpu_lite (
+  input clk,
+  input reset,
+  input load_en,
+  input [7:0] load_addr,
+  input [15:0] load_data,
+  input run,
+  output reg halted,
+  output reg out_valid,
+  output reg [15:0] out_data,
+  output reg exc_valid,
+  output reg [3:0] exc_cause
+);
+  reg [15:0] imem [0:255];
+  reg [15:0] regs [0:7];
+  reg [7:0] pc;
+  reg running;
+  reg [3:0] cause_stage;
+
+  wire [15:0] instr;
+  wire [2:0] opcode;
+  wire [2:0] rd;
+  wire [2:0] rs1;
+  wire [2:0] rs2;
+  wire [6:0] imm7;
+  wire [15:0] imm_sext;
+  wire [7:0] btarget;
+
+  assign instr = imem[pc];
+  assign opcode = instr[15:13];
+  assign rd = instr[12:10];
+  assign rs1 = instr[9:7];
+  assign rs2 = instr[6:4];
+  assign imm7 = instr[6:0];
+  assign imm_sext = {{9{instr[6]}}, instr[6:0]};
+  assign btarget = %s;
+
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    exc_valid <= 1'b0;
+    %s
+    if (reset) begin
+      pc <= 8'd0;
+      running <= 1'b0;
+      halted <= 1'b0;
+      regs[0] <= 16'd0;
+    end else begin
+      if (load_en) imem[load_addr] <= load_data;
+      if (run) running <= 1'b1;
+      if (running && !halted) begin
+        pc <= pc + 8'd1;
+        case (opcode)
+          3'd0: if (rd != 3'd0) regs[rd] <= regs[rs1] + imm_sext;
+          3'd1: if (rd != 3'd0) regs[rd] <= regs[rs1] + regs[rs2];
+          3'd2: if (regs[rs1] == 16'd0) pc <= btarget;
+          3'd3: begin
+            out_valid <= 1'b1;
+            out_data <= regs[rs1];
+          end
+          3'd4: halted <= 1'b1;
+          default: begin
+            %s
+          end
+        endcase
+      end
+    end
+  end
+endmodule
+|}
+    btarget exc_stage_update exc_logic
+
+(* --- a tiny assembler ----------------------------------------------- *)
+
+let addi rd rs1 imm = (0 lsl 13) lor (rd lsl 10) lor (rs1 lsl 7) lor (imm land 0x7F)
+let add rd rs1 rs2 = (1 lsl 13) lor (rd lsl 10) lor (rs1 lsl 7) lor (rs2 lsl 4)
+let beqz rs1 off = (2 lsl 13) lor (rs1 lsl 7) lor (off land 0x7F)
+let out rs1 = (3 lsl 13) lor (rs1 lsl 7)
+let halt = 4 lsl 13
+let illegal = 7 lsl 13
+
+(* Drive the boot loader, then pulse [run]. *)
+let loader_stimulus program cycle =
+  let base =
+    [ ("reset", Bug.lo); ("load_en", Bug.lo); ("run", Bug.lo) ]
+  in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle >= 1 && cycle - 1 < List.length program then (
+    let addr, data = List.nth program (cycle - 1) in
+    base |> set "load_en" Bug.hi
+    |> set "load_addr" (Bits.of_int ~width:8 addr)
+    |> set "load_data" (Bits.of_int ~width:16 data))
+  else if cycle = 1 + List.length program then set "run" Bug.hi base
+  else base
+
+(* The E7 program straddles the 128 boundary: two forward hops reach
+   address 130, whose branch to 134 loses the PC carry in the buggy
+   core and lands on the garbage pad at 6. *)
+let e7_program =
+  [
+    (0, beqz 0 63);       (* -> 63 *)
+    (6, addi 3 0 9);      (* garbage landing pad *)
+    (7, out 3);
+    (8, halt);
+    (63, beqz 0 63);      (* -> 126 *)
+    (126, addi 3 0 42);
+    (127, addi 4 0 1);
+    (128, addi 4 0 2);
+    (129, addi 4 0 3);
+    (130, beqz 0 4);      (* -> 134 (buggy: 6) *)
+    (134, out 3);
+    (135, halt);
+  ]
+
+let e7 : Bug.t =
+  {
+    Extended.base_bug with
+    id = "E7";
+    subclass = Taxonomy.Bit_truncation;
+    application = "VexRiscv";
+    symptoms = [ Taxonomy.Incorrect_output ];
+    helpful_tools = [ Bug.SC; Bug.Dep ];
+    description =
+      "the branch-target adder drops the PC's top bit, so branches taken \
+       above the half-way boundary land in low memory";
+    top = "cpu_lite";
+    buggy_src = source ~branch_buggy:true ~exc_buggy:false;
+    fixed_src = source ~branch_buggy:false ~exc_buggy:false;
+    stimulus = loader_stimulus e7_program;
+    max_cycles = 200;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some [ ("out", Simulator.read_int sim "out_data") ]
+        else None);
+    done_when = Some (fun sim -> Simulator.read_int sim "halted" = 1);
+    dep_target = Some "out_data";
+    manual_fsms = [];
+  }
+
+(* The E8 program retires one ADDI and then an illegal instruction. *)
+let e8_program = [ (0, addi 1 0 5); (1, illegal); (2, halt) ]
+
+let e8 : Bug.t =
+  {
+    Extended.base_bug with
+    id = "E8";
+    subclass = Taxonomy.Signal_asynchrony;
+    application = "CVA6 RISC-V";
+    symptoms = [ Taxonomy.Incorrect_output ];
+    helpful_tools = [ Bug.SC; Bug.Dep ];
+    description =
+      "the illegal-instruction cause register is staged one cycle behind \
+       the exception-valid flag, so the trap monitor samples a stale cause";
+    top = "cpu_lite";
+    buggy_src = source ~branch_buggy:false ~exc_buggy:true;
+    fixed_src = source ~branch_buggy:false ~exc_buggy:false;
+    stimulus = loader_stimulus e8_program;
+    max_cycles = 30;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "exc_valid" = 1 then
+          Some [ ("cause", Simulator.read_int sim "exc_cause") ]
+        else None);
+    done_when = Some (fun sim -> Simulator.read_int sim "halted" = 1);
+    dep_target = Some "exc_cause";
+    manual_fsms = [];
+  }

@@ -1,0 +1,122 @@
+(* D7 - Misindexing in a floating-point adder (generic).
+
+   IEEE-754 single precision puts the fraction in bits [22:0] and the
+   exponent in [30:23]. The developer extracted the fraction as [23:0],
+   folding the exponent's least significant bit into the mantissa
+   (section 3.2.3); every sum with an odd exponent is wrong. *)
+
+module Bits = Fpga_bits.Bits
+module Simulator = Fpga_sim.Simulator
+
+let set k v l = (k, v) :: List.remove_assoc k l
+
+let source ~buggy =
+  let extract v =
+    if buggy then Printf.sprintf "{1'b1, %s[23:0]}" v
+    else Printf.sprintf "{2'b01, %s[22:0]}" v
+  in
+  Printf.sprintf
+    {|
+module fadd (
+  input clk,
+  input reset,
+  input in_valid,
+  input [31:0] a,
+  input [31:0] b,
+  output reg out_valid,
+  output reg [31:0] sum
+);
+  reg [7:0] exp_a, exp_b;
+  reg [24:0] frac_a, frac_b;
+  reg stage_vld;
+  reg [25:0] mant;
+  reg [7:0] exp_r;
+  reg norm_vld;
+
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (reset) begin
+      stage_vld <= 1'b0;
+      norm_vld <= 1'b0;
+    end else begin
+      // stage 1: unpack (assumes exp_a >= exp_b, positive operands)
+      if (in_valid) begin
+        exp_a <= a[30:23];
+        exp_b <= b[30:23];
+        frac_a <= %s;
+        frac_b <= %s;
+        stage_vld <= 1'b1;
+      end else begin
+        stage_vld <= 1'b0;
+      end
+      // stage 2: align and add
+      if (stage_vld) begin
+        mant <= frac_a + (frac_b >> (exp_a - exp_b));
+        exp_r <= exp_a;
+        norm_vld <= 1'b1;
+      end else begin
+        norm_vld <= 1'b0;
+      end
+      // stage 3: normalize and pack
+      if (norm_vld) begin
+        out_valid <= 1'b1;
+        if (mant[25]) sum <= {1'b0, exp_r + 8'd1, mant[24:2]};
+        else if (mant[24]) sum <= {1'b0, exp_r + 8'd1, mant[23:1]};
+        else sum <= {1'b0, exp_r, mant[22:0]};
+      end
+    end
+  end
+endmodule
+|}
+    (extract "a") (extract "b")
+
+(* IEEE-754 encodings of small floats; 1.5 (0x3FC00000) has an odd
+   biased exponent LSB pattern that triggers the misindexing. *)
+let pairs =
+  [
+    (0x3FC0_0000, 0x3F80_0000);  (* 1.5 + 1.0 *)
+    (0x4040_0000, 0x3FC0_0000);  (* 3.0 + 1.5 *)
+    (0x40A0_0000, 0x4000_0000);  (* 5.0 + 2.0 *)
+  ]
+
+let stimulus cycle =
+  let base = [ ("reset", Bug.lo); ("in_valid", Bug.lo) ] in
+  let b32 = Bits.of_int ~width:32 in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if (cycle - 2) mod 4 = 0 && (cycle - 2) / 4 < List.length pairs && cycle >= 2
+  then (
+    let a, b = List.nth pairs ((cycle - 2) / 4) in
+    base |> set "in_valid" Bug.hi |> set "a" (b32 a) |> set "b" (b32 b))
+  else base
+
+let bug : Bug.t =
+  {
+    id = "D7";
+    subclass = Fpga_study.Taxonomy.Misindexing;
+    application = "FADD";
+    platform = Fpga_resources.Platforms.Generic;
+    symptoms = [ Fpga_study.Taxonomy.Incorrect_output ];
+    helpful_tools = [ Bug.SC; Bug.Dep ];
+    description =
+      "the fraction is extracted as bits [23:0] instead of [22:0], \
+       folding the exponent LSB into the mantissa";
+    top = "fadd";
+    buggy_src = source ~buggy:true;
+    fixed_src = source ~buggy:false;
+    stimulus;
+    max_cycles = 24;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some [ ("sum", Bits.to_int_trunc (Simulator.read sim "sum")) ]
+        else None);
+    done_when = None;
+    ext_monitor = None;
+    loss_spec = None;
+    loss_root = None;
+    ground_truth = [];
+    manual_fsms = [];
+    stat_events = [ ("sums_out", "out_valid") ];
+    dep_target = Some "sum";
+    target_mhz = 200;
+  }

@@ -1,0 +1,98 @@
+(* D6 - Bit truncation in an FFT butterfly (generic).
+
+   The twiddle product of the butterfly needs 16 bits, but the pipeline
+   register holding it is 8 bits wide: the product is truncated before
+   the scaling shift and both butterfly outputs are wrong. *)
+
+module Bits = Fpga_bits.Bits
+module Simulator = Fpga_sim.Simulator
+
+let set k v l = (k, v) :: List.remove_assoc k l
+
+let source ~buggy =
+  let prod_decl = if buggy then "reg [7:0] prod;" else "reg [15:0] prod;" in
+  Printf.sprintf
+    {|
+module fft_butterfly (
+  input clk,
+  input reset,
+  input in_valid,
+  input [7:0] in_a,
+  input [7:0] in_b,
+  input [7:0] twiddle,
+  output reg out_valid,
+  output reg [7:0] out_x,
+  output reg [7:0] out_y
+);
+  %s
+  reg [7:0] a_r;
+  reg stage_vld;
+
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (reset) begin
+      stage_vld <= 1'b0;
+    end else begin
+      if (in_valid) begin
+        prod <= in_b * twiddle;
+        a_r <= in_a;
+        stage_vld <= 1'b1;
+      end else begin
+        stage_vld <= 1'b0;
+      end
+      if (stage_vld) begin
+        out_valid <= 1'b1;
+        out_x <= a_r + (prod >> 7);
+        out_y <= a_r - (prod >> 7);
+      end
+    end
+  end
+endmodule
+|}
+    prod_decl
+
+let samples = [ (40, 96, 200); (17, 130, 90); (250, 33, 255); (5, 5, 128) ]
+
+let stimulus cycle =
+  let base = [ ("reset", Bug.lo); ("in_valid", Bug.lo) ] in
+  let b8 = Bits.of_int ~width:8 in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle >= 2 && cycle - 2 < List.length samples then (
+    let a, b, t = List.nth samples (cycle - 2) in
+    base |> set "in_valid" Bug.hi |> set "in_a" (b8 a) |> set "in_b" (b8 b)
+    |> set "twiddle" (b8 t))
+  else base
+
+let bug : Bug.t =
+  {
+    id = "D6";
+    subclass = Fpga_study.Taxonomy.Bit_truncation;
+    application = "FFT";
+    platform = Fpga_resources.Platforms.Generic;
+    symptoms = [ Fpga_study.Taxonomy.Incorrect_output ];
+    helpful_tools = [ Bug.SC; Bug.Dep ];
+    description =
+      "the butterfly's 16-bit twiddle product is stored in an 8-bit \
+       pipeline register before scaling";
+    top = "fft_butterfly";
+    buggy_src = source ~buggy:true;
+    fixed_src = source ~buggy:false;
+    stimulus;
+    max_cycles = 20;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some
+            [ ("x", Simulator.read_int sim "out_x");
+              ("y", Simulator.read_int sim "out_y") ]
+        else None);
+    done_when = None;
+    ext_monitor = None;
+    loss_spec = None;
+    loss_root = None;
+    ground_truth = [];
+    manual_fsms = [];
+    stat_events = [ ("samples_out", "out_valid") ];
+    dep_target = Some "out_x";
+    target_mhz = 200;
+  }

@@ -1,0 +1,393 @@
+(* Frame FIFO bugs (generic platform).
+
+   D4 - Buffer overflow: the frame FIFO commits its write pointer at
+   end-of-frame but never checks for space; a frame larger than the
+   free space wraps the power-of-two storage and destroys the previous
+   unread frame.
+
+   D11 - Failure-to-update: the FIFO supports aborting a frame in
+   flight (an intentional drop). The [drop] flag is never cleared at
+   the end of the aborted frame, so every subsequent frame is dropped
+   too. This is the paper's LossCheck false negative: the loss happens
+   at a register whose drops are also intentional, so ground-truth
+   filtering suppresses the alarm (section 4.5.4).
+
+   D12 - Failure-to-update: the in-frame flag is not cleared at
+   end-of-frame, so the header of a back-to-back frame is treated as
+   payload and the latched frame length goes stale. *)
+
+module Bits = Fpga_bits.Bits
+module Simulator = Fpga_sim.Simulator
+
+let set k v l = (k, v) :: List.remove_assoc k l
+let b8 = Bits.of_int ~width:8
+
+(* ------------------------------------------------------------------ *)
+(* D4                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let d4_source ~buggy =
+  let mem_decl, ptr_decl =
+    if buggy then ("reg [7:0] mem [0:15];", "reg [3:0] wptr, wptr_tmp, rptr;")
+    else ("reg [7:0] mem [0:31];", "reg [4:0] wptr, wptr_tmp, rptr;")
+  in
+  Printf.sprintf
+    {|
+module frame_fifo (
+  input clk,
+  input reset,
+  input in_valid,
+  input [7:0] in_data,
+  input in_last,
+  input out_ready,
+  output reg out_valid,
+  output reg [7:0] out_data
+);
+  %s
+  %s
+
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (reset) begin
+      wptr <= 0;
+      wptr_tmp <= 0;
+      rptr <= 0;
+    end else begin
+      if (in_valid) begin
+        mem[wptr_tmp] <= in_data;
+        wptr_tmp <= wptr_tmp + 1;
+        if (in_last) wptr <= wptr_tmp + 1;
+      end
+      if (out_ready && (rptr != wptr)) begin
+        out_valid <= 1'b1;
+        out_data <= mem[rptr];
+        rptr <= rptr + 1;
+      end
+    end
+  end
+endmodule
+|}
+    mem_decl ptr_decl
+
+(* Frame A (6 words) parked unread while frame B (14 words) arrives:
+   more than 16 words outstanding wraps the buggy storage. *)
+let d4_stimulus cycle =
+  let base =
+    [ ("reset", Bug.lo); ("in_valid", Bug.lo); ("in_last", Bug.lo);
+      ("out_ready", if cycle < 30 then Bug.lo else Bug.hi) ]
+  in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle >= 2 && cycle < 8 then
+    base |> set "in_valid" Bug.hi
+    |> set "in_data" (b8 (0x10 + cycle - 2))
+    |> set "in_last" (if cycle = 7 then Bug.hi else Bug.lo)
+  else if cycle >= 9 && cycle < 23 then
+    base |> set "in_valid" Bug.hi
+    |> set "in_data" (b8 (0x50 + cycle - 9))
+    |> set "in_last" (if cycle = 22 then Bug.hi else Bug.lo)
+  else base
+
+let d4_ground_truth cycle =
+  let base =
+    [ ("reset", Bug.lo); ("in_valid", Bug.lo); ("in_last", Bug.lo);
+      ("out_ready", Bug.hi) ]
+  in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle >= 2 && cycle < 6 then
+    base |> set "in_valid" Bug.hi
+    |> set "in_data" (b8 (0x20 + cycle))
+    |> set "in_last" (if cycle = 5 then Bug.hi else Bug.lo)
+  else base
+
+let d4 : Bug.t =
+  {
+    id = "D4";
+    subclass = Fpga_study.Taxonomy.Buffer_overflow;
+    application = "Frame FIFO";
+    platform = Fpga_resources.Platforms.Generic;
+    symptoms = [ Fpga_study.Taxonomy.Data_loss ];
+    helpful_tools = [ Bug.SC; Bug.Stat; Bug.LC ];
+    description =
+      "no space check at frame ingress: a long frame wraps the \
+       power-of-two storage over the previous unread frame";
+    top = "frame_fifo";
+    buggy_src = d4_source ~buggy:true;
+    fixed_src = d4_source ~buggy:false;
+    stimulus = d4_stimulus;
+    max_cycles = 80;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some [ ("out_data", Simulator.read_int sim "out_data") ]
+        else None);
+    done_when = None;
+    ext_monitor = None;
+    loss_spec =
+      Some
+        {
+          Fpga_debug.Losscheck.source = "in_data";
+          valid = Fpga_hdl.Ast.Ident "in_valid";
+          sink = "out_data";
+        };
+    loss_root = Some "mem";
+    ground_truth = [ (d4_ground_truth, 30) ];
+    manual_fsms = [];
+    stat_events = [ ("words_in", "in_valid"); ("words_out", "out_valid") ];
+    dep_target = Some "out_data";
+    target_mhz = 200;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* D11                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let d11_source ~buggy =
+  let clear = if buggy then "" else "drop <= 1'b0;" in
+  Printf.sprintf
+    {|
+module frame_fifo_drop (
+  input clk,
+  input reset,
+  input in_valid,
+  input [7:0] in_data,
+  input in_last,
+  input in_abort,
+  input out_ready,
+  output reg out_valid,
+  output reg [7:0] out_data
+);
+  reg [7:0] mem [0:31];
+  reg [4:0] wptr, wptr_tmp, rptr;
+  reg drop;
+  reg [7:0] word_reg;
+  reg word_vld, word_last;
+
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (reset) begin
+      wptr <= 0;
+      wptr_tmp <= 0;
+      rptr <= 0;
+      drop <= 1'b0;
+      word_vld <= 1'b0;
+    end else begin
+      // capture stage
+      if (in_valid) begin
+        word_reg <= in_data;
+        word_vld <= 1'b1;
+        word_last <= in_last;
+      end else begin
+        word_vld <= 1'b0;
+      end
+      if (in_abort) begin
+        drop <= 1'b1;
+        wptr_tmp <= wptr;
+        word_vld <= 1'b0;
+      end
+      // store stage
+      if (word_vld && !drop) begin
+        mem[wptr_tmp] <= word_reg;
+        wptr_tmp <= wptr_tmp + 1;
+        if (word_last) wptr <= wptr_tmp + 1;
+      end
+      if (word_vld && drop && word_last) begin
+        // aborted frame fully consumed: resume storing
+        %s
+      end
+      if (out_ready && (rptr != wptr)) begin
+        out_valid <= 1'b1;
+        out_data <= mem[rptr];
+        rptr <= rptr + 1;
+      end
+    end
+  end
+endmodule
+|}
+    clear
+
+(* Frame A (4 words), frame B aborted at its second word, frame C
+   (4 words). The buggy design silently drops frame C. *)
+let d11_stimulus cycle =
+  let base =
+    [ ("reset", Bug.lo); ("in_valid", Bug.lo); ("in_last", Bug.lo);
+      ("in_abort", Bug.lo); ("out_ready", Bug.hi) ]
+  in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle >= 2 && cycle < 6 then
+    base |> set "in_valid" Bug.hi
+    |> set "in_data" (b8 (0x11 * (cycle - 1)))
+    |> set "in_last" (if cycle = 5 then Bug.hi else Bug.lo)
+  else if cycle >= 8 && cycle < 12 then
+    (* frame B, aborted at cycle 9 *)
+    base |> set "in_valid" Bug.hi
+    |> set "in_data" (b8 (0x70 + cycle))
+    |> set "in_last" (if cycle = 11 then Bug.hi else Bug.lo)
+    |> set "in_abort" (if cycle = 9 then Bug.hi else Bug.lo)
+  else if cycle >= 14 && cycle < 18 then
+    base |> set "in_valid" Bug.hi
+    |> set "in_data" (b8 (0xC0 + cycle))
+    |> set "in_last" (if cycle = 17 then Bug.hi else Bug.lo)
+  else base
+
+(* Ground truth: a good frame followed by an aborted frame as the last
+   traffic - it passes on the buggy design and exercises the
+   intentional drop at [word_reg], teaching the filter to ignore it. *)
+let d11_ground_truth cycle =
+  let base =
+    [ ("reset", Bug.lo); ("in_valid", Bug.lo); ("in_last", Bug.lo);
+      ("in_abort", Bug.lo); ("out_ready", Bug.hi) ]
+  in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle >= 2 && cycle < 6 then
+    base |> set "in_valid" Bug.hi
+    |> set "in_data" (b8 (0x21 * (cycle - 1)))
+    |> set "in_last" (if cycle = 5 then Bug.hi else Bug.lo)
+  else if cycle >= 8 && cycle < 12 then
+    base |> set "in_valid" Bug.hi
+    |> set "in_data" (b8 (0x90 + cycle))
+    |> set "in_last" (if cycle = 11 then Bug.hi else Bug.lo)
+    |> set "in_abort" (if cycle = 9 then Bug.hi else Bug.lo)
+  else base
+
+let d11 : Bug.t =
+  {
+    id = "D11";
+    subclass = Fpga_study.Taxonomy.Failure_to_update;
+    application = "Frame FIFO";
+    platform = Fpga_resources.Platforms.Generic;
+    symptoms = [ Fpga_study.Taxonomy.Data_loss ];
+    helpful_tools = [ Bug.SC; Bug.Stat ];
+    description =
+      "the drop flag set by an aborted frame is never cleared, so every \
+       later frame is dropped as well";
+    top = "frame_fifo_drop";
+    buggy_src = d11_source ~buggy:true;
+    fixed_src = d11_source ~buggy:false;
+    stimulus = d11_stimulus;
+    max_cycles = 60;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some [ ("out_data", Simulator.read_int sim "out_data") ]
+        else None);
+    done_when = None;
+    ext_monitor = None;
+    loss_spec =
+      Some
+        {
+          Fpga_debug.Losscheck.source = "in_data";
+          valid = Fpga_hdl.Ast.Ident "in_valid";
+          sink = "out_data";
+        };
+    (* LossCheck cannot localize this one: the alarm register is
+       filtered as an intentional drop (the paper's false negative) *)
+    loss_root = None;
+    ground_truth = [ (d11_ground_truth, 40) ];
+    manual_fsms = [];
+    stat_events = [ ("words_in", "in_valid"); ("words_out", "out_valid") ];
+    dep_target = Some "out_data";
+    target_mhz = 200;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* D12                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let d12_source ~buggy =
+  let clear = if buggy then "" else "in_frame <= 1'b0;" in
+  Printf.sprintf
+    {|
+module frame_meta (
+  input clk,
+  input reset,
+  input in_valid,
+  input [7:0] in_data,
+  input in_last,
+  output reg out_valid,
+  output reg [7:0] out_len,
+  output reg [7:0] out_sum
+);
+  reg in_frame;
+  reg [7:0] len_latch;
+  reg [7:0] sum;
+
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (reset) begin
+      in_frame <= 1'b0;
+      sum <= 8'd0;
+    end else if (in_valid) begin
+      if (!in_frame) begin
+        // header word carries the expected frame length
+        in_frame <= 1'b1;
+        len_latch <= in_data;
+        sum <= 8'd0;
+      end else begin
+        sum <= sum + in_data;
+      end
+      if (in_last) begin
+        out_valid <= 1'b1;
+        out_len <= len_latch;
+        out_sum <= sum + in_data;
+        %s
+      end
+    end
+  end
+endmodule
+|}
+    clear
+
+(* Two back-to-back frames; with the stale in-frame flag the second
+   frame's header is folded into the payload sum and the latched length
+   is the first frame's. *)
+let d12_stimulus cycle =
+  let base =
+    [ ("reset", Bug.lo); ("in_valid", Bug.lo); ("in_last", Bug.lo) ]
+  in
+  let frame1 = [ 0x03; 0x0A; 0x0B; 0x0C ] in
+  let frame2 = [ 0x02; 0x21; 0x22 ] in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle >= 2 && cycle < 2 + List.length frame1 then
+    base |> set "in_valid" Bug.hi
+    |> set "in_data" (b8 (List.nth frame1 (cycle - 2)))
+    |> set "in_last" (if cycle = 1 + List.length frame1 then Bug.hi else Bug.lo)
+  else if cycle >= 6 && cycle < 6 + List.length frame2 then
+    base |> set "in_valid" Bug.hi
+    |> set "in_data" (b8 (List.nth frame2 (cycle - 6)))
+    |> set "in_last" (if cycle = 5 + List.length frame2 then Bug.hi else Bug.lo)
+  else base
+
+let d12 : Bug.t =
+  {
+    id = "D12";
+    subclass = Fpga_study.Taxonomy.Failure_to_update;
+    application = "Frame FIFO";
+    platform = Fpga_resources.Platforms.Generic;
+    symptoms = [ Fpga_study.Taxonomy.Incorrect_output ];
+    helpful_tools = [ Bug.SC; Bug.Stat; Bug.Dep ];
+    description =
+      "the in-frame flag is not cleared at end-of-frame, so a \
+       back-to-back frame's header is treated as payload and the \
+       latched length goes stale";
+    top = "frame_meta";
+    buggy_src = d12_source ~buggy:true;
+    fixed_src = d12_source ~buggy:false;
+    stimulus = d12_stimulus;
+    max_cycles = 30;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some
+            [ ("len", Simulator.read_int sim "out_len");
+              ("sum", Simulator.read_int sim "out_sum") ]
+        else None);
+    done_when = None;
+    ext_monitor = None;
+    loss_spec = None;
+    loss_root = None;
+    ground_truth = [];
+    manual_fsms = [ "in_frame" ];
+    stat_events = [ ("frames_out", "out_valid") ];
+    dep_target = Some "out_len";
+    target_mhz = 200;
+  }

@@ -1,0 +1,94 @@
+(* D13 - Failure-to-update in a frame length measurer (generic).
+
+   The paper's section 3.2.5 pattern: on reset, the per-frame input
+   counter is cleared but the cumulative word counter is not, so after a
+   mid-stream reset the statistics output carries stale state. *)
+
+module Bits = Fpga_bits.Bits
+module Simulator = Fpga_sim.Simulator
+
+let set k v l = (k, v) :: List.remove_assoc k l
+
+let source ~buggy =
+  let clear = if buggy then "" else "total_words <= 8'd0;" in
+  Printf.sprintf
+    {|
+module frame_len (
+  input clk,
+  input reset,
+  input in_valid,
+  input in_last,
+  output reg out_valid,
+  output reg [7:0] frame_words,
+  output reg [7:0] total_words
+);
+  reg [7:0] input_counter;
+
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (in_valid) begin
+      input_counter <= input_counter + 8'd1;
+      total_words <= total_words + 8'd1;
+    end
+    if (in_valid && in_last) begin
+      out_valid <= 1'b1;
+      frame_words <= input_counter + 8'd1;
+      input_counter <= 8'd0;
+    end
+    if (reset) begin
+      input_counter <= 8'd0;
+      %s
+    end
+  end
+endmodule
+|}
+    clear
+
+(* A 3-word frame, then a mid-stream reset, then a 4-word frame. *)
+let stimulus cycle =
+  let base =
+    [ ("reset", Bug.lo); ("in_valid", Bug.lo); ("in_last", Bug.lo) ]
+  in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle >= 2 && cycle < 5 then
+    base |> set "in_valid" Bug.hi
+    |> set "in_last" (if cycle = 4 then Bug.hi else Bug.lo)
+  else if cycle = 6 then set "reset" Bug.hi base
+  else if cycle >= 8 && cycle < 12 then
+    base |> set "in_valid" Bug.hi
+    |> set "in_last" (if cycle = 11 then Bug.hi else Bug.lo)
+  else base
+
+let bug : Bug.t =
+  {
+    id = "D13";
+    subclass = Fpga_study.Taxonomy.Failure_to_update;
+    application = "Frame Length Measurer";
+    platform = Fpga_resources.Platforms.Generic;
+    symptoms = [ Fpga_study.Taxonomy.Incorrect_output ];
+    helpful_tools = [ Bug.SC; Bug.Stat ];
+    description =
+      "reset clears the per-frame counter but not the cumulative word \
+       counter, leaving stale statistics after a mid-stream reset";
+    top = "frame_len";
+    buggy_src = source ~buggy:true;
+    fixed_src = source ~buggy:false;
+    stimulus;
+    max_cycles = 20;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some
+            [ ("frame_words", Simulator.read_int sim "frame_words");
+              ("total_words", Simulator.read_int sim "total_words") ]
+        else None);
+    done_when = None;
+    ext_monitor = None;
+    loss_spec = None;
+    loss_root = None;
+    ground_truth = [];
+    manual_fsms = [];
+    stat_events = [ ("words_in", "in_valid"); ("frames_out", "out_valid") ];
+    dep_target = Some "total_words";
+    target_mhz = 200;
+  }

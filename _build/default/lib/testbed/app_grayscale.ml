@@ -1,0 +1,162 @@
+(* D2 - Buffer overflow in the Grayscale accelerator (HARP).
+
+   The accelerator has a read FSM (pulls RGB pixels from host memory),
+   a grayscale transform, a line buffer, and a write FSM (pushes gray
+   pixels back). The 16-entry line buffer has no flow control towards
+   the producer: when the host stalls the output side, the write pointer
+   wraps (power-of-two truncation, section 3.2.1 case 1) past the read
+   pointer, losing the unread pixels and confusing the pointer-equality
+   occupancy test - the write FSM waits forever for pixels that no
+   longer exist. This is the case study of section 6.3.
+
+   The upstream fix enlarges the buffer. *)
+
+module Bits = Fpga_bits.Bits
+module Simulator = Fpga_sim.Simulator
+
+let source ~buggy =
+  let buf_decl, ptr_decl =
+    if buggy then ("reg [7:0] linebuf [0:15];", "reg [3:0] wptr, rptr;")
+    else ("reg [7:0] linebuf [0:31];", "reg [4:0] wptr, rptr;")
+  in
+  Printf.sprintf
+    {|
+module grayscale (
+  input clk,
+  input reset,
+  input start,
+  input in_valid,
+  input [23:0] in_rgb,
+  input out_ready,
+  input [5:0] num_pixels,
+  output reg out_valid,
+  output reg [7:0] out_gray,
+  output [1:0] rd_state_out,
+  output [1:0] wr_state_out
+);
+  localparam RD_IDLE = 2'd0;
+  localparam RD_DATA = 2'd1;
+  localparam RD_FINISH = 2'd2;
+  localparam WR_IDLE = 2'd0;
+  localparam WR_DATA = 2'd1;
+  localparam WR_FINISH = 2'd2;
+
+  %s
+  %s
+  reg [5:0] rd_count, wr_count;
+  reg [1:0] rd_state, wr_state;
+  wire [7:0] gray;
+
+  assign gray = (in_rgb[23:16] >> 2) + (in_rgb[15:8] >> 1) + (in_rgb[7:0] >> 2);
+  assign rd_state_out = rd_state;
+  assign wr_state_out = wr_state;
+
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (reset) begin
+      rd_state <= RD_IDLE;
+      wr_state <= WR_IDLE;
+      wptr <= 0;
+      rptr <= 0;
+      rd_count <= 6'd0;
+      wr_count <= 6'd0;
+    end else begin
+      case (rd_state)
+        RD_IDLE: if (start) rd_state <= RD_DATA;
+        RD_DATA: if (in_valid) begin
+          linebuf[wptr] <= gray;
+          wptr <= wptr + 1;
+          rd_count <= rd_count + 6'd1;
+          if (rd_count + 6'd1 == num_pixels) rd_state <= RD_FINISH;
+        end
+        RD_FINISH: rd_state <= RD_FINISH;
+      endcase
+      case (wr_state)
+        WR_IDLE: if (start) wr_state <= WR_DATA;
+        WR_DATA: if (out_ready && (wptr != rptr)) begin
+          out_valid <= 1'b1;
+          out_gray <= linebuf[rptr];
+          rptr <= rptr + 1;
+          wr_count <= wr_count + 6'd1;
+          if (wr_count + 6'd1 == num_pixels) wr_state <= WR_FINISH;
+        end
+        WR_FINISH: wr_state <= WR_FINISH;
+      endcase
+    end
+  end
+endmodule
+|}
+    buf_decl ptr_decl
+
+let rgb i = ((0x30 + i) lsl 16) lor ((0x60 + (2 * i)) lsl 8) lor (0x90 + i)
+
+(* 24 pixels streamed back-to-back while the output side stalls for the
+   first 30 cycles: more than 16 pixels accumulate, wrapping the buggy
+   buffer. *)
+let stimulus cycle =
+  let n = 24 in
+  let base =
+    [ ("reset", Bug.lo); ("start", Bug.lo); ("in_valid", Bug.lo);
+      ("out_ready", if cycle < 30 then Bug.lo else Bug.hi);
+      ("num_pixels", Bits.of_int ~width:6 n) ]
+  in
+  let set k v l = (k, v) :: List.remove_assoc k l in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle = 1 then set "start" Bug.hi base
+  else if cycle >= 3 && cycle < 3 + n then
+    base |> set "in_valid" Bug.hi
+    |> set "in_rgb" (Bits.of_int ~width:24 (rgb (cycle - 3)))
+  else base
+
+(* Ground truth: 8 pixels with a responsive consumer. *)
+let ground_truth_stimulus cycle =
+  let n = 8 in
+  let base =
+    [ ("reset", Bug.lo); ("start", Bug.lo); ("in_valid", Bug.lo);
+      ("out_ready", Bug.hi); ("num_pixels", Bits.of_int ~width:6 n) ]
+  in
+  let set k v l = (k, v) :: List.remove_assoc k l in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle = 1 then set "start" Bug.hi base
+  else if cycle >= 3 && cycle < 3 + n then
+    base |> set "in_valid" Bug.hi
+    |> set "in_rgb" (Bits.of_int ~width:24 (rgb (cycle - 3)))
+  else base
+
+let bug : Bug.t =
+  {
+    id = "D2";
+    subclass = Fpga_study.Taxonomy.Buffer_overflow;
+    application = "Grayscale";
+    platform = Fpga_resources.Platforms.Harp;
+    symptoms = [ Fpga_study.Taxonomy.App_stuck; Fpga_study.Taxonomy.Data_loss ];
+    helpful_tools = [ Bug.SC; Bug.FSM; Bug.Stat; Bug.LC ];
+    description =
+      "line buffer write pointer wraps past the read pointer when the \
+       output side stalls; unread pixels are lost and the write FSM hangs";
+    top = "grayscale";
+    buggy_src = source ~buggy:true;
+    fixed_src = source ~buggy:false;
+    stimulus;
+    max_cycles = 120;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some [ ("out_gray", Simulator.read_int sim "out_gray") ]
+        else None);
+    done_when = Some (fun sim -> Simulator.read_int sim "wr_state_out" = 2);
+    ext_monitor = None;
+    loss_spec =
+      Some
+        {
+          Fpga_debug.Losscheck.source = "in_rgb";
+          valid = Fpga_hdl.Ast.Ident "in_valid";
+          sink = "out_gray";
+        };
+    loss_root = Some "linebuf";
+    ground_truth = [ (ground_truth_stimulus, 40) ];
+    manual_fsms = [ "rd_state"; "wr_state" ];
+    stat_events = [ ("pixels_in", "in_valid"); ("pixels_out", "out_valid") ];
+    dep_target = Some "out_gray";
+    target_mhz = 200;
+  }

@@ -1,0 +1,364 @@
+(* Optimus hypervisor bugs (HARP).
+
+   D3 - Buffer overflow: the MMIO response buffer holds two slots per
+   guest VM (4 VMs x 2 = 8 entries), but the slot index is computed as
+   vm*4+idx instead of vm*2+idx. Slots for VMs 2 and 3 land at 8..13,
+   wrap over the power-of-two buffer (section 3.2.1 case 1), and destroy
+   the pending responses of VMs 0 and 1. Half the responses disappear,
+   the host poller waits forever, and the computed slot exceeding the
+   response region trips the shell monitor.
+
+   C2 - Producer-consumer mismatch: two guest channels produce into a
+   single staging slot; when the host applies backpressure a second
+   producer overwrites the first pending value, so a guest never sees
+   its response (the bounded-buffer problem of section 3.3.2). The fix
+   gives the second producer its own slot (the "larger buffer" repair).
+
+   Both modules contain an intentional-drop register on the data path
+   ([cap_reg] dropped on VM flush; [last_out] replay register refreshed
+   on every delivery): ground-truth tests exercise those drops, so
+   LossCheck's false-positive filtering suppresses them and the reports
+   contain exactly the true loss location (section 4.5.3). *)
+
+module Bits = Fpga_bits.Bits
+module Simulator = Fpga_sim.Simulator
+
+(* ------------------------------------------------------------------ *)
+(* D3                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let d3_source ~buggy =
+  let slot_expr =
+    if buggy then "{resp_vm, 2'b00} + resp_idx" else "{resp_vm, 1'b0} + resp_idx"
+  in
+  Printf.sprintf
+    {|
+module mmio_mux (
+  input clk,
+  input reset,
+  input flush,
+  input resp_valid,
+  input [1:0] resp_vm,
+  input resp_idx,
+  input [7:0] resp_data,
+  output reg out_valid,
+  output reg [7:0] out_data,
+  output reg [2:0] out_slot,
+  output reg [5:0] dbg_slot,
+  output reg [3:0] delivered,
+  output [2:0] dbg_grant
+);
+  reg [7:0] resp_buf [0:7];
+  reg [7:0] pending;
+  reg [7:0] cap_reg;
+  reg [5:0] cap_slot;
+  reg cap_vld;
+  reg [2:0] scan;
+
+  // priority arbiter over pending responses (diagnostic port)
+  assign dbg_grant = pending[0] ? 3'd0
+                   : pending[1] ? 3'd1
+                   : pending[2] ? 3'd2
+                   : pending[3] ? 3'd3
+                   : pending[4] ? 3'd4
+                   : pending[5] ? 3'd5
+                   : pending[6] ? 3'd6
+                   : pending[7] ? 3'd7
+                   : 3'd0;
+
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (reset) begin
+      pending <= 8'd0;
+      cap_vld <= 1'b0;
+      scan <= 3'd0;
+      delivered <= 4'd0;
+    end else if (flush) begin
+      // VM teardown: discard pending responses and in-flight capture
+      pending <= 8'd0;
+      cap_vld <= 1'b0;
+    end else begin
+      // stage 1: capture an incoming guest response
+      if (resp_valid) begin
+        cap_reg <= resp_data;
+        cap_slot <= %s;
+        dbg_slot <= %s;
+        cap_vld <= 1'b1;
+      end else begin
+        cap_vld <= 1'b0;
+      end
+      // stage 2: store into the per-slot response buffer
+      if (cap_vld) begin
+        resp_buf[cap_slot] <= cap_reg;
+        pending[cap_slot] <= 1'b1;
+      end
+      // host-side scanner drains pending slots round-robin
+      if (pending[scan]) begin
+        out_valid <= 1'b1;
+        out_data <= resp_buf[scan];
+        out_slot <= scan;
+        pending[scan] <= 1'b0;
+        delivered <= delivered + 4'd1;
+      end
+      scan <= scan + 3'd1;
+    end
+  end
+endmodule
+|}
+    slot_expr slot_expr
+
+(* All eight responses (4 VMs x 2 registers), back to back. *)
+let d3_stimulus cycle =
+  let base =
+    [ ("reset", Bug.lo); ("flush", Bug.lo); ("resp_valid", Bug.lo) ]
+  in
+  let set k v l = (k, v) :: List.remove_assoc k l in
+  let send vm idx data =
+    base |> set "resp_valid" Bug.hi
+    |> set "resp_vm" (Bits.of_int ~width:2 vm)
+    |> set "resp_idx" (Bits.of_int ~width:1 idx)
+    |> set "resp_data" (Bits.of_int ~width:8 data)
+  in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle >= 2 && cycle < 10 then (
+    let k = cycle - 2 in
+    send (k / 2) (k mod 2) (0x40 + (k * 3)))
+  else base
+
+(* Ground truth: VMs 0 and 1 only (their buggy slots are still unique),
+   with a flush between two bursts - the intentional drop. *)
+let d3_ground_truth cycle =
+  let base =
+    [ ("reset", Bug.lo); ("flush", Bug.lo); ("resp_valid", Bug.lo) ]
+  in
+  let set k v l = (k, v) :: List.remove_assoc k l in
+  let send vm idx data =
+    base |> set "resp_valid" Bug.hi
+    |> set "resp_vm" (Bits.of_int ~width:2 vm)
+    |> set "resp_idx" (Bits.of_int ~width:1 idx)
+    |> set "resp_data" (Bits.of_int ~width:8 data)
+  in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle = 2 then send 0 0 0x11
+  else if cycle = 3 then send 0 1 0x22
+  else if cycle = 5 then set "flush" Bug.hi base
+  else if cycle = 7 then send 1 0 0x33
+  else if cycle = 8 then send 1 1 0x44
+  else base
+
+let d3 : Bug.t =
+  {
+    id = "D3";
+    subclass = Fpga_study.Taxonomy.Buffer_overflow;
+    application = "Optimus";
+    platform = Fpga_resources.Platforms.Harp;
+    symptoms =
+      [ Fpga_study.Taxonomy.App_stuck; Fpga_study.Taxonomy.Data_loss;
+        Fpga_study.Taxonomy.External_error ];
+    helpful_tools = [ Bug.SC; Bug.Stat; Bug.Dep; Bug.LC ];
+    description =
+      "MMIO response slot computed as vm*4+idx instead of vm*2+idx wraps \
+       the 8-entry buffer and destroys other guests' pending responses";
+    top = "mmio_mux";
+    buggy_src = d3_source ~buggy:true;
+    fixed_src = d3_source ~buggy:false;
+    stimulus = d3_stimulus;
+    max_cycles = 80;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some
+            [ ("slot", Simulator.read_int sim "out_slot");
+              ("data", Simulator.read_int sim "out_data") ]
+        else None);
+    done_when = Some (fun sim -> Simulator.read_int sim "delivered" = 8);
+    ext_monitor = Some (fun sim -> Simulator.read_int sim "dbg_slot" >= 8);
+    loss_spec =
+      Some
+        {
+          Fpga_debug.Losscheck.source = "resp_data";
+          valid = Fpga_hdl.Ast.Ident "resp_valid";
+          sink = "out_data";
+        };
+    loss_root = Some "resp_buf";
+    ground_truth = [ (d3_ground_truth, 40) ];
+    manual_fsms = [];
+    stat_events =
+      [ ("responses_in", "resp_valid"); ("responses_out", "out_valid") ];
+    dep_target = Some "out_data";
+    target_mhz = 400;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* C2                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let c2_source ~buggy =
+  let y_store, y_extra, y_drain =
+    if buggy then
+      ( "if (y_valid) begin slot <= y_data; slot_vld <= 1'b1; slot_src <= 1'b1; end",
+        "",
+        "" )
+    else
+      ( "if (y_valid) begin yslot <= y_data; yslot_vld <= 1'b1; end",
+        "reg [7:0] yslot;\n  reg yslot_vld;",
+        {|else if (yslot_vld && out_ready) begin
+        out_valid <= 1'b1;
+        out_data <= yslot;
+        out_src <= 1'b1;
+        last_out <= yslot;
+        yslot_vld <= 1'b0;
+        delivered <= delivered + 4'd1;
+      end|} )
+  in
+  Printf.sprintf
+    {|
+module chan_mux (
+  input clk,
+  input reset,
+  input x_valid,
+  input [7:0] x_data,
+  input y_valid,
+  input [7:0] y_data,
+  input out_ready,
+  input replay,
+  output reg out_valid,
+  output reg [7:0] out_data,
+  output reg out_src,
+  output reg [3:0] delivered,
+  output [2:0] dbg_pri
+);
+  reg [7:0] slot;
+  reg slot_vld;
+  reg slot_src;
+  reg [7:0] last_out;
+  %s
+
+  // diagnostic priority view of the channel state
+  assign dbg_pri = x_valid ? 3'd0
+                 : y_valid ? 3'd1
+                 : slot_vld ? 3'd2
+                 : replay ? 3'd3
+                 : out_ready ? 3'd4
+                 : slot_src ? 3'd5
+                 : delivered[0] ? 3'd6
+                 : delivered[1] ? 3'd7
+                 : 3'd0;
+
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (reset) begin
+      slot_vld <= 1'b0;
+      delivered <= 4'd0;
+    end else begin
+      // host-side drain
+      if (replay) begin
+        out_valid <= 1'b1;
+        out_data <= last_out;
+        out_src <= slot_src;
+      end else if (slot_vld && out_ready) begin
+        out_valid <= 1'b1;
+        out_data <= slot;
+        out_src <= slot_src;
+        last_out <= slot;
+        slot_vld <= 1'b0;
+        delivered <= delivered + 4'd1;
+      end %s
+      // guest producers (no backpressure towards the guests)
+      if (x_valid) begin slot <= x_data; slot_vld <= 1'b1; slot_src <= 1'b0; end
+      %s
+    end
+  end
+endmodule
+|}
+    y_extra y_drain y_store
+
+(* x produces three responses and y one. The host stalls while the
+   second x response and the y response arrive, so the shared slot is
+   overwritten (the real loss); the final delivery also refreshes the
+   [last_out] replay register while it still holds unreplayed data -
+   the intentional drop that shows up as a raw alarm. *)
+let c2_stimulus cycle =
+  let base =
+    [ ("reset", Bug.lo); ("x_valid", Bug.lo); ("y_valid", Bug.lo);
+      ("replay", Bug.lo);
+      ("out_ready", if cycle >= 5 && cycle <= 10 then Bug.lo else Bug.hi) ]
+  in
+  let set k v l = (k, v) :: List.remove_assoc k l in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle = 2 then
+    base |> set "x_valid" Bug.hi |> set "x_data" (Bits.of_int ~width:8 0xA1)
+  else if cycle = 5 then
+    base |> set "x_valid" Bug.hi |> set "x_data" (Bits.of_int ~width:8 0xA2)
+  else if cycle = 6 then
+    base |> set "y_valid" Bug.hi |> set "y_data" (Bits.of_int ~width:8 0xB1)
+  else if cycle = 13 then
+    base |> set "x_valid" Bug.hi |> set "x_data" (Bits.of_int ~width:8 0xA3)
+  else base
+
+(* Ground truth: sequential traffic with occasional backpressure; the
+   [last_out] replay register is intentionally refreshed twice without a
+   replay, which teaches the filter that its drops are intentional. *)
+let c2_ground_truth cycle =
+  let base =
+    [ ("reset", Bug.lo); ("x_valid", Bug.lo); ("y_valid", Bug.lo);
+      ("replay", Bug.lo);
+      ("out_ready", if cycle >= 3 && cycle <= 4 then Bug.lo else Bug.hi) ]
+  in
+  let set k v l = (k, v) :: List.remove_assoc k l in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle = 2 then
+    base |> set "x_valid" Bug.hi |> set "x_data" (Bits.of_int ~width:8 0x31)
+  else if cycle = 8 then
+    base |> set "y_valid" Bug.hi |> set "y_data" (Bits.of_int ~width:8 0x32)
+  else base
+
+let c2 : Bug.t =
+  {
+    id = "C2";
+    subclass = Fpga_study.Taxonomy.Producer_consumer_mismatch;
+    application = "Optimus";
+    platform = Fpga_resources.Platforms.Harp;
+    symptoms =
+      [ Fpga_study.Taxonomy.App_stuck; Fpga_study.Taxonomy.Data_loss;
+        Fpga_study.Taxonomy.External_error ];
+    helpful_tools = [ Bug.SC; Bug.Stat; Bug.Dep; Bug.LC ];
+    description =
+      "two guest channels share one response slot; under host \
+       backpressure the second producer overwrites the first pending \
+       response";
+    top = "chan_mux";
+    buggy_src = c2_source ~buggy:true;
+    fixed_src = c2_source ~buggy:false;
+    stimulus = c2_stimulus;
+    max_cycles = 60;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some
+            [ ("src", Simulator.read_int sim "out_src");
+              ("data", Simulator.read_int sim "out_data") ]
+        else None);
+    done_when = Some (fun sim -> Simulator.read_int sim "delivered" = 4);
+    ext_monitor =
+      Some
+        (fun sim ->
+          (* hypervisor watchdog: MMIO response timeout *)
+          Simulator.cycle sim > 40 && Simulator.read_int sim "delivered" < 4);
+    loss_spec =
+      Some
+        {
+          Fpga_debug.Losscheck.source = "x_data";
+          valid = Fpga_hdl.Ast.Ident "x_valid";
+          sink = "out_data";
+        };
+    loss_root = Some "slot";
+    ground_truth = [ (c2_ground_truth, 40) ];
+    manual_fsms = [ "slot_vld" ];
+    stat_events =
+      [
+        ("x_in", "x_valid"); ("y_in", "y_valid"); ("responses_out", "out_valid");
+      ];
+    dep_target = Some "out_data";
+    target_mhz = 400;
+  }

@@ -1,0 +1,207 @@
+(* D1 - Buffer overflow in a Reed-Solomon decoder (HARP).
+
+   The decoder collects a (possibly shortened) 12-symbol codeword into a
+   12-entry buffer, verifies parity, and emits the block to the host.
+   Shortened blocks are right-aligned with a padding offset, but the
+   padding is computed against a 16-entry layout: for a shortened block
+   the store index exceeds the 12-entry (non-power-of-two) buffer, the
+   writes are silently dropped (section 3.2.1 case 2), parity never
+   checks out, and the decoder waits forever for a retransmission.
+
+   Symptoms: stuck, data loss, and a shell-monitor error (the host
+   staging offset leaves the 12-word response region).
+
+   LossCheck localizes the loss to [in_reg] (the capture register whose
+   value fails to propagate into the buffer) and additionally reports
+   the [codeword] memory - words of an intentionally aborted block are
+   overwritten by the next block; the ground-truth test does not abort,
+   so the report keeps this one false positive, mirroring the paper's
+   D1 result (section 6.3). *)
+
+module Bits = Fpga_bits.Bits
+module Simulator = Fpga_sim.Simulator
+
+let source ~buggy =
+  let pad_expr =
+    if buggy then "(block_len == 4'd12) ? 5'd0 : 5'd16 - block_len"
+    else "(block_len == 4'd12) ? 5'd0 : 5'd12 - block_len"
+  in
+  Printf.sprintf
+    {|
+module rs_decoder (
+  input clk,
+  input reset,
+  input in_valid,
+  input [7:0] in_data,
+  input in_abort,
+  input [3:0] block_len,
+  output reg out_valid,
+  output reg [7:0] out_data,
+  output reg [5:0] host_addr,
+  output reg parity_ok,
+  output [1:0] state_out
+);
+  localparam RECV = 2'd0;
+  localparam CHECK = 2'd1;
+  localparam EMIT = 2'd2;
+  localparam DONE = 2'd3;
+
+  reg [7:0] codeword [0:11];
+  reg [7:0] in_reg;
+  reg in_vld_r;
+  reg [3:0] wr_cnt;
+  reg [3:0] rd_cnt;
+  reg [4:0] pad;
+  reg [7:0] parity;
+  reg [1:0] state;
+
+  assign state_out = state;
+
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (reset) begin
+      state <= RECV;
+      wr_cnt <= 4'd0;
+      rd_cnt <= 4'd0;
+      parity <= 8'd0;
+      parity_ok <= 1'b0;
+      in_vld_r <= 1'b0;
+      pad <= %s;
+    end else if (in_abort) begin
+      state <= RECV;
+      wr_cnt <= 4'd0;
+      rd_cnt <= 4'd0;
+      parity <= 8'd0;
+      in_vld_r <= 1'b0;
+    end else begin
+      // stage 1: capture the symbol stream
+      if (in_valid) begin
+        in_reg <= in_data;
+        in_vld_r <= 1'b1;
+      end else begin
+        in_vld_r <= 1'b0;
+      end
+      case (state)
+        RECV: if (in_vld_r) begin
+          // stage 2: store into the (shortened) codeword buffer
+          codeword[pad + wr_cnt] <= in_reg;
+          host_addr <= pad + wr_cnt;
+          parity <= parity ^ in_reg;
+          wr_cnt <= wr_cnt + 4'd1;
+          if (wr_cnt + 4'd1 == block_len) state <= CHECK;
+        end
+        CHECK: begin
+          if (rd_cnt == block_len) begin
+            if (parity == 8'd0) begin
+              state <= EMIT;
+              rd_cnt <= 4'd0;
+              parity_ok <= 1'b1;
+            end
+            // otherwise: wait for a retransmission that never comes
+          end else begin
+            parity <= parity ^ codeword[pad + rd_cnt];
+            rd_cnt <= rd_cnt + 4'd1;
+          end
+        end
+        EMIT: begin
+          if (rd_cnt == block_len) state <= DONE;
+          else begin
+            out_valid <= 1'b1;
+            out_data <= codeword[pad + rd_cnt];
+            rd_cnt <= rd_cnt + 4'd1;
+          end
+        end
+        DONE: state <= DONE;
+      endcase
+    end
+  end
+endmodule
+|}
+    pad_expr
+
+(* A block whose symbols XOR to zero (the last symbol is the running
+   parity), so a fully-stored block always passes the check. *)
+let block symbols =
+  let parity = List.fold_left ( lxor ) 0 symbols in
+  symbols @ [ parity ]
+
+let shortened_payload = [ 0x11; 0x22; 0x33; 0x44; 0x55; 0x66; 0x77; 0x88; 0x99 ]
+let full_payload = List.init 11 (fun i -> 0x20 + (7 * i))
+
+(* One reset cycle, then symbols back to back. The bug-triggering
+   stimulus first streams three symbols of a block and aborts it (the
+   intentional drop), then streams a shortened 10-symbol block. *)
+let stimulus cycle =
+  let symbols = block shortened_payload in  (* 10 symbols *)
+  let aborted = [ 0xA1; 0xA2; 0xA3 ] in
+  let b8 = Bits.of_int ~width:8 in
+  let base =
+    [ ("reset", Bug.lo); ("in_valid", Bug.lo); ("in_abort", Bug.lo);
+      ("block_len", Bits.of_int ~width:4 10) ]
+  in
+  let set k v l = (k, v) :: List.remove_assoc k l in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle >= 2 && cycle < 2 + List.length aborted then
+    base |> set "in_valid" Bug.hi
+    |> set "in_data" (b8 (List.nth aborted (cycle - 2)))
+  else if cycle = 2 + List.length aborted then set "in_abort" Bug.hi base
+  else if cycle >= 7 && cycle < 7 + List.length symbols then
+    base |> set "in_valid" Bug.hi
+    |> set "in_data" (b8 (List.nth symbols (cycle - 7)))
+  else base
+
+(* Ground truth: a full-length (unshortened) block, which the buggy
+   design handles correctly. *)
+let ground_truth_stimulus cycle =
+  let symbols = block full_payload in  (* 12 symbols *)
+  let b8 = Bits.of_int ~width:8 in
+  let base =
+    [ ("reset", Bug.lo); ("in_valid", Bug.lo); ("in_abort", Bug.lo);
+      ("block_len", Bits.of_int ~width:4 12) ]
+  in
+  let set k v l = (k, v) :: List.remove_assoc k l in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle >= 2 && cycle < 2 + List.length symbols then
+    base |> set "in_valid" Bug.hi
+    |> set "in_data" (b8 (List.nth symbols (cycle - 2)))
+  else base
+
+let bug : Bug.t =
+  {
+    id = "D1";
+    subclass = Fpga_study.Taxonomy.Buffer_overflow;
+    application = "Reed-Solomon Decoder";
+    platform = Fpga_resources.Platforms.Harp;
+    symptoms =
+      [ Fpga_study.Taxonomy.App_stuck; Fpga_study.Taxonomy.Data_loss;
+        Fpga_study.Taxonomy.External_error ];
+    helpful_tools = [ Bug.SC; Bug.FSM; Bug.LC ];
+    description =
+      "shortened-block padding computed against a 16-entry layout \
+       overflows the 12-entry codeword buffer; writes are dropped";
+    top = "rs_decoder";
+    buggy_src = source ~buggy:true;
+    fixed_src = source ~buggy:false;
+    stimulus;
+    max_cycles = 120;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some [ ("out_data", Simulator.read_int sim "out_data") ]
+        else None);
+    done_when = Some (fun sim -> Simulator.read_int sim "state_out" = 3);
+    ext_monitor = Some (fun sim -> Simulator.read_int sim "host_addr" >= 12);
+    loss_spec =
+      Some
+        {
+          Fpga_debug.Losscheck.source = "in_data";
+          valid = Fpga_hdl.Ast.Ident "in_valid";
+          sink = "out_data";
+        };
+    loss_root = Some "in_reg";
+    ground_truth = [ (ground_truth_stimulus, 60) ];
+    manual_fsms = [ "state" ];
+    stat_events = [ ("symbols_in", "in_valid"); ("symbols_out", "out_valid") ];
+    dep_target = Some "out_data";
+    target_mhz = 200;
+  }

@@ -1,0 +1,307 @@
+(* SDSPI bugs (generic platform) - three bugs from the ZipCPU SD-card
+   SPI controller.
+
+   D9 - Endianness mismatch: SPI bytes arrive most-significant first,
+   but the word assembler stores the first byte into the low half before
+   handing the word to a big-endian checksum unit (the section 3.2.4
+   pattern, with the checksum unit as a separate module).
+
+   C1 - Deadlock: the command engine waits for the data engine to
+   signal idle, while the data engine only raises idle after the command
+   engine activates it - a circular control dependency among two
+   conditionally-assigned flags (section 3.3.1). The fix initializes
+   the data engine as idle.
+
+   C3 - Signal asynchrony: the section 3.3.3 pattern verbatim - the
+   response data is buffered for an extra cycle to satisfy the host's
+   two-cycle turnaround, but the response-valid flag is raised
+   immediately, so the host samples a stale response. *)
+
+module Bits = Fpga_bits.Bits
+module Simulator = Fpga_sim.Simulator
+
+let set k v l = (k, v) :: List.remove_assoc k l
+let b8 = Bits.of_int ~width:8
+
+(* ------------------------------------------------------------------ *)
+(* D9                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let d9_source ~buggy =
+  let first, second =
+    if buggy then ("word[7:0] <= byte_in;", "word[15:8] <= byte_in;")
+    else ("word[15:8] <= byte_in;", "word[7:0] <= byte_in;")
+  in
+  Printf.sprintf
+    {|
+module checksum_be (
+  input [15:0] w,
+  output [7:0] crc
+);
+  // big-endian checksum: the wire-order first byte is the major term
+  assign crc = (w[15:8] << 1) ^ w[7:0] ^ 8'h5a;
+endmodule
+
+module sdspi_crc (
+  input clk,
+  input reset,
+  input byte_valid,
+  input [7:0] byte_in,
+  output reg crc_valid,
+  output reg [7:0] crc_out
+);
+  reg [15:0] word;
+  reg half;
+  reg word_ready;
+  wire [7:0] crc_w;
+
+  checksum_be u_crc (.w(word), .crc(crc_w));
+
+  always @(posedge clk) begin
+    crc_valid <= 1'b0;
+    word_ready <= 1'b0;
+    if (reset) begin
+      half <= 1'b0;
+    end else begin
+      if (byte_valid) begin
+        if (!half) begin
+          %s
+        end else begin
+          %s
+          word_ready <= 1'b1;
+        end
+        half <= ~half;
+      end
+      if (word_ready) begin
+        crc_valid <= 1'b1;
+        crc_out <= crc_w;
+      end
+    end
+  end
+endmodule
+|}
+    first second
+
+let d9_bytes = [ 0x12; 0x34; 0xAB; 0xCD ]
+
+let d9_stimulus cycle =
+  let base = [ ("reset", Bug.lo); ("byte_valid", Bug.lo) ] in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle >= 2 && cycle - 2 < List.length d9_bytes then
+    base |> set "byte_valid" Bug.hi
+    |> set "byte_in" (b8 (List.nth d9_bytes (cycle - 2)))
+  else base
+
+let d9 : Bug.t =
+  {
+    id = "D9";
+    subclass = Fpga_study.Taxonomy.Endianness_mismatch;
+    application = "SDSPI";
+    platform = Fpga_resources.Platforms.Generic;
+    symptoms = [ Fpga_study.Taxonomy.Incorrect_output ];
+    helpful_tools = [ Bug.SC; Bug.Dep ];
+    description =
+      "the word assembler stores SPI bytes little-endian before passing \
+       the word to a big-endian checksum module";
+    top = "sdspi_crc";
+    buggy_src = d9_source ~buggy:true;
+    fixed_src = d9_source ~buggy:false;
+    stimulus = d9_stimulus;
+    max_cycles = 16;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "crc_valid" = 1 then
+          Some [ ("crc", Simulator.read_int sim "crc_out") ]
+        else None);
+    done_when = None;
+    ext_monitor = None;
+    loss_spec = None;
+    loss_root = None;
+    ground_truth = [];
+    manual_fsms = [ "half" ];  (* byte-phase FSM: missed by the heuristic *)
+    stat_events = [ ("bytes_in", "byte_valid"); ("words_out", "crc_valid") ];
+    dep_target = Some "crc_out";
+    target_mhz = 200;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* C1                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let c1_source ~buggy =
+  let idle_init = if buggy then "data_idle <= 1'b0;" else "data_idle <= 1'b1;" in
+  Printf.sprintf
+    {|
+module sdspi_ctrl (
+  input clk,
+  input reset,
+  input cmd_start,
+  output reg done_flag,
+  output [1:0] cmd_state_out,
+  output [1:0] data_state_out
+);
+  localparam C_IDLE = 2'd0;
+  localparam C_WAIT = 2'd1;
+  localparam C_XFER = 2'd2;
+  localparam C_DONE = 2'd3;
+  localparam D_IDLE = 2'd0;
+  localparam D_ACTIVE = 2'd1;
+  localparam D_DONE = 2'd2;
+
+  reg [1:0] cmd_state;
+  reg [1:0] data_state;
+  reg cmd_active;
+  reg data_idle;
+
+  assign cmd_state_out = cmd_state;
+  assign data_state_out = data_state;
+
+  always @(posedge clk) begin
+    if (reset) begin
+      cmd_state <= C_IDLE;
+      data_state <= D_IDLE;
+      cmd_active <= 1'b0;
+      done_flag <= 1'b0;
+      %s
+    end else begin
+      case (cmd_state)
+        C_IDLE: if (cmd_start) cmd_state <= C_WAIT;
+        C_WAIT: if (data_idle) begin
+          cmd_state <= C_XFER;
+          cmd_active <= 1'b1;
+        end
+        C_XFER: begin
+          cmd_state <= C_DONE;
+          done_flag <= 1'b1;
+        end
+        C_DONE: cmd_state <= C_DONE;
+      endcase
+      case (data_state)
+        D_IDLE: if (cmd_active) begin
+          data_state <= D_ACTIVE;
+          data_idle <= 1'b1;
+        end
+        D_ACTIVE: data_state <= D_DONE;
+        D_DONE: data_state <= D_DONE;
+      endcase
+    end
+  end
+endmodule
+|}
+    idle_init
+
+let c1_stimulus cycle =
+  let base = [ ("reset", Bug.lo); ("cmd_start", Bug.lo) ] in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle = 2 then set "cmd_start" Bug.hi base
+  else base
+
+let c1 : Bug.t =
+  {
+    id = "C1";
+    subclass = Fpga_study.Taxonomy.Deadlock;
+    application = "SDSPI";
+    platform = Fpga_resources.Platforms.Generic;
+    symptoms = [ Fpga_study.Taxonomy.App_stuck ];
+    helpful_tools = [ Bug.SC; Bug.FSM; Bug.Dep ];
+    description =
+      "command engine waits for data_idle, data engine raises data_idle \
+       only once cmd_active is set: a circular control dependency";
+    top = "sdspi_ctrl";
+    buggy_src = c1_source ~buggy:true;
+    fixed_src = c1_source ~buggy:false;
+    stimulus = c1_stimulus;
+    max_cycles = 50;
+    sample = (fun _ -> None);
+    done_when = Some (fun sim -> Simulator.read_int sim "done_flag" = 1);
+    ext_monitor = None;
+    loss_spec = None;
+    loss_root = None;
+    ground_truth = [];
+    manual_fsms = [ "cmd_state"; "data_state" ];
+    stat_events = [ ("cmd_starts", "cmd_start") ];
+    dep_target = Some "done_flag";
+    target_mhz = 200;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* C3                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let c3_source ~buggy =
+  let valid_logic =
+    if buggy then
+      {|if (request) final_response_valid <= 1'b1;
+      else final_response_valid <= 1'b0;|}
+    else
+      {|if (request) delayed_response_valid <= 1'b1;
+      else delayed_response_valid <= 1'b0;
+      final_response_valid <= delayed_response_valid;|}
+  in
+  let extra_decl = if buggy then "" else "reg delayed_response_valid;" in
+  Printf.sprintf
+    {|
+module sdspi_resp (
+  input clk,
+  input reset,
+  input request,
+  input [7:0] input_data,
+  output reg final_response_valid,
+  output reg [7:0] final_response
+);
+  reg [7:0] buffered_response;
+  %s
+
+  always @(posedge clk) begin
+    if (reset) begin
+      final_response_valid <= 1'b0;
+    end else begin
+      if (request) buffered_response <= input_data + 8'd1;
+      final_response <= buffered_response;
+      %s
+    end
+  end
+endmodule
+|}
+    extra_decl valid_logic
+
+let c3_stimulus cycle =
+  let base = [ ("reset", Bug.lo); ("request", Bug.lo) ] in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle = 3 then
+    base |> set "request" Bug.hi |> set "input_data" (b8 0x41)
+  else if cycle = 8 then
+    base |> set "request" Bug.hi |> set "input_data" (b8 0x77)
+  else base
+
+let c3 : Bug.t =
+  {
+    id = "C3";
+    subclass = Fpga_study.Taxonomy.Signal_asynchrony;
+    application = "SDSPI";
+    platform = Fpga_resources.Platforms.Generic;
+    symptoms = [ Fpga_study.Taxonomy.Incorrect_output ];
+    helpful_tools = [ Bug.SC; Bug.Dep ];
+    description =
+      "response data is delayed one cycle for the host turnaround but \
+       the response-valid flag is raised immediately";
+    top = "sdspi_resp";
+    buggy_src = c3_source ~buggy:true;
+    fixed_src = c3_source ~buggy:false;
+    stimulus = c3_stimulus;
+    max_cycles = 16;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "final_response_valid" = 1 then
+          Some [ ("resp", Simulator.read_int sim "final_response") ]
+        else None);
+    done_when = None;
+    ext_monitor = None;
+    loss_spec = None;
+    loss_root = None;
+    ground_truth = [];
+    manual_fsms = [];
+    stat_events = [ ("requests", "request"); ("responses", "final_response_valid") ];
+    dep_target = Some "final_response_valid";
+    target_mhz = 200;
+  }

@@ -1,0 +1,177 @@
+(* SHA512 accelerator bugs (HARP).
+
+   The engine loads a 64-bit message word, runs eight mixing rounds over
+   a 64-bit chaining variable, and writes the digest back to host memory
+   at an address derived from a 64-bit base pointer.
+
+   D5 - Bit truncation: the paper's section 3.2.2 pattern verbatim. The
+   write-back address is computed by casting the base pointer to 42 bits
+   before the >>6 shift, losing bits [47:42]; the digest lands outside
+   the destination region and the shell monitor reports it.
+
+   D10 - Failure-to-update: the chaining variable is initialized only at
+   reset, not when a new message starts, so the second digest absorbs
+   state from the first. *)
+
+module Bits = Fpga_bits.Bits
+module Simulator = Fpga_sim.Simulator
+
+let set k v l = (k, v) :: List.remove_assoc k l
+
+let source ~addr_buggy ~init_buggy =
+  let addr_expr =
+    if addr_buggy then "dst_base[41:0] >> 6" else "dst_base[47:6]"
+  in
+  let h_init = if init_buggy then "" else "h <= 64'h6a09e667f3bcc908;" in
+  Printf.sprintf
+    {|
+module sha512 (
+  input clk,
+  input reset,
+  input start,
+  input in_valid,
+  input [63:0] in_word,
+  input [63:0] dst_base,
+  output reg wr_valid,
+  output reg [63:0] digest,
+  output reg [41:0] host_wr_addr,
+  output [1:0] state_out
+);
+  localparam IDLE = 2'd0;
+  localparam LOAD = 2'd1;
+  localparam ROUND = 2'd2;
+  localparam WRITE = 2'd3;
+
+  reg [1:0] state;
+  reg [63:0] h;
+  reg [63:0] w;
+  reg [3:0] round;
+
+  assign state_out = state;
+
+  always @(posedge clk) begin
+    wr_valid <= 1'b0;
+    if (reset) begin
+      state <= IDLE;
+      h <= 64'h6a09e667f3bcc908;
+      round <= 4'd0;
+    end else begin
+      case (state)
+        IDLE: if (start) begin
+          round <= 4'd0;
+          %s
+          state <= LOAD;
+        end
+        LOAD: if (in_valid) begin
+          w <= in_word;
+          state <= ROUND;
+        end
+        ROUND: begin
+          h <= h + (w ^ {h[12:0], h[63:13]}) + 64'h428a2f98d728ae22;
+          w <= {w[55:0], w[63:56]};
+          round <= round + 4'd1;
+          if (round == 4'd7) state <= WRITE;
+        end
+        WRITE: begin
+          wr_valid <= 1'b1;
+          digest <= h;
+          host_wr_addr <= %s;
+          state <= IDLE;
+        end
+      endcase
+    end
+  end
+endmodule
+|}
+    h_init addr_expr
+
+let base_pointer = 0x0000_4400_0000_0080
+let expected_addr = base_pointer lsr 6
+
+let message_stimulus words cycle =
+  let base =
+    [ ("reset", Bug.lo); ("start", Bug.lo); ("in_valid", Bug.lo);
+      ("dst_base", Bits.of_int ~width:64 base_pointer) ]
+  in
+  (* each message: start pulse, then the word; rounds take 8 cycles *)
+  let period = 14 in
+  let idx = (cycle - 2) / period and phase = (cycle - 2) mod period in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle >= 2 && idx < List.length words then
+    if phase = 0 then set "start" Bug.hi base
+    else if phase = 2 then
+      base |> set "in_valid" Bug.hi
+      |> set "in_word" (Bits.of_int ~width:64 (List.nth words idx))
+    else base
+  else base
+
+let sample sim =
+  if Simulator.read_int sim "wr_valid" = 1 then
+    Some
+      [
+        ("digest", Bits.to_int_trunc (Simulator.read sim "digest"));
+        ("addr", Simulator.read_int sim "host_wr_addr");
+      ]
+  else None
+
+let d5 : Bug.t =
+  {
+    id = "D5";
+    subclass = Fpga_study.Taxonomy.Bit_truncation;
+    application = "SHA512";
+    platform = Fpga_resources.Platforms.Harp;
+    symptoms =
+      [ Fpga_study.Taxonomy.Incorrect_output; Fpga_study.Taxonomy.External_error ];
+    helpful_tools = [ Bug.SC; Bug.Stat; Bug.Dep ];
+    description =
+      "write-back address cast to 42 bits before the >>6 shift drops \
+       base-pointer bits [47:42]";
+    top = "sha512";
+    buggy_src = source ~addr_buggy:true ~init_buggy:false;
+    fixed_src = source ~addr_buggy:false ~init_buggy:false;
+    stimulus = message_stimulus [ 0x0123_4567_89ab_cdef ];
+    max_cycles = 40;
+    sample;
+    done_when = None;
+    ext_monitor =
+      Some
+        (fun sim ->
+          let addr = Simulator.read_int sim "host_wr_addr" in
+          addr <> 0 && addr <> expected_addr);
+    loss_spec = None;
+    loss_root = None;
+    ground_truth = [];
+    manual_fsms = [ "state" ];
+    stat_events = [ ("digests_out", "wr_valid") ];
+    dep_target = Some "host_wr_addr";
+    target_mhz = 400;
+  }
+
+let d10 : Bug.t =
+  {
+    id = "D10";
+    subclass = Fpga_study.Taxonomy.Failure_to_update;
+    application = "SHA512";
+    platform = Fpga_resources.Platforms.Harp;
+    symptoms = [ Fpga_study.Taxonomy.Incorrect_output ];
+    helpful_tools = [ Bug.SC; Bug.FSM; Bug.Dep ];
+    description =
+      "the chaining variable is initialized only at reset, so the \
+       second message's digest absorbs the first message's state";
+    top = "sha512";
+    buggy_src = source ~addr_buggy:false ~init_buggy:true;
+    fixed_src = source ~addr_buggy:false ~init_buggy:false;
+    stimulus =
+      message_stimulus [ 0x1111_2222_3333_4444; 0x5555_6666_7777_8888 ];
+    max_cycles = 60;
+    sample;
+    done_when = None;
+    ext_monitor = None;
+    loss_spec = None;
+    loss_root = None;
+    ground_truth = [];
+    manual_fsms = [ "state" ];
+    stat_events = [ ("digests_out", "wr_valid") ];
+    dep_target = Some "digest";
+    target_mhz = 400;
+  }

@@ -1,0 +1,188 @@
+(* The reproducible-bug testbed (section 6.1, Table 2).
+
+   Each bug carries the buggy Verilog source, the fixed source (the
+   upstream patch reduced to our subset), a stimulus that triggers the
+   symptom push-button, observation hooks, and metadata connecting it to
+   the study taxonomy and to the tools that help localize it.
+
+   Reproduction is differential: the same stimulus drives the buggy and
+   the fixed design; symptoms are derived from how the two runs diverge
+   (missing output rows = data loss, different rows = incorrect output,
+   unmet completion = stuck, tripped shell monitor = external error). *)
+
+module Ast = Fpga_hdl.Ast
+module Bits = Fpga_bits.Bits
+module Simulator = Fpga_sim.Simulator
+module Testbench = Fpga_sim.Testbench
+module Taxonomy = Fpga_study.Taxonomy
+
+type tool = SC | FSM | Stat | Dep | LC
+
+let tool_name = function
+  | SC -> "SignalCat"
+  | FSM -> "FSM Monitor"
+  | Stat -> "Statistics Monitor"
+  | Dep -> "Dependency Monitor"
+  | LC -> "LossCheck"
+
+type t = {
+  id : string;  (* Table 2 identifier, e.g. "D1" *)
+  subclass : Taxonomy.subclass;
+  application : string;
+  platform : Fpga_resources.Platforms.kind;
+  symptoms : Taxonomy.symptom list;  (* expected, from Table 2 *)
+  helpful_tools : tool list;
+  description : string;
+  top : string;
+  buggy_src : string;
+  fixed_src : string;
+  stimulus : Testbench.stimulus;
+  max_cycles : int;
+  (* a valid output row of the design, when one is present this cycle *)
+  sample : Simulator.t -> (string * int) list option;
+  (* completion condition; unmet = the "stuck" symptom *)
+  done_when : (Simulator.t -> bool) option;
+  (* FPGA-shell-style external monitor (protocol checker, address range
+     checker); tripping it is the "Ext" symptom *)
+  ext_monitor : (Simulator.t -> bool) option;
+  (* LossCheck inputs, for the data-loss bugs *)
+  loss_spec : Fpga_debug.Losscheck.spec option;
+  (* the register LossCheck is expected to localize (the loss root) *)
+  loss_root : string option;
+  (* passing stimuli used as ground truth for false-positive filtering *)
+  ground_truth : (Testbench.stimulus * int) list;
+  (* manually identified FSM state variables, for the section 4.2
+     detection-accuracy experiment *)
+  manual_fsms : string list;
+  (* events for Statistics Monitor debugging recipes *)
+  stat_events : (string * string) list;  (* event name * 1-bit signal *)
+  (* target for Dependency Monitor recipes *)
+  dep_target : string option;
+  target_mhz : int;
+}
+
+type report = {
+  stuck : bool;
+  finished : bool;
+  rows : (int * (string * int) list) list;
+  ext_error : bool;
+  log : (int * string) list;
+}
+
+let design_of bug ~buggy =
+  Fpga_hdl.Parser.parse_design (if buggy then bug.buggy_src else bug.fixed_src)
+
+let run_design (bug : t) (design : Ast.design) : report =
+  let sim = Testbench.of_design ~top:bug.top design in
+  let rows = ref [] in
+  let ext = ref false in
+  let satisfied = ref false in
+  let i = ref 0 in
+  while !i < bug.max_cycles && (not (Simulator.finished sim)) && not !satisfied do
+    List.iter (fun (n, v) -> Simulator.set_input sim n v) (bug.stimulus !i);
+    Simulator.step sim;
+    (match bug.sample sim with
+    | Some row -> rows := (!i, row) :: !rows
+    | None -> ());
+    (match bug.ext_monitor with
+    | Some f when f sim -> ext := true
+    | _ -> ());
+    (match bug.done_when with
+    | Some cond when cond sim -> satisfied := true
+    | _ -> ());
+    incr i
+  done;
+  {
+    stuck = (match bug.done_when with Some _ -> not !satisfied | None -> false);
+    finished = Simulator.finished sim;
+    rows = List.rev !rows;
+    ext_error = !ext;
+    log = Simulator.log sim;
+  }
+
+let run (bug : t) ~buggy : report = run_design bug (design_of bug ~buggy)
+
+(* Symptoms observed by differential execution. *)
+let observed_symptoms (bug : t) : Taxonomy.symptom list =
+  let buggy = run bug ~buggy:true in
+  let fixed = run bug ~buggy:false in
+  let stuck = buggy.stuck && not fixed.stuck in
+  let loss = List.length buggy.rows < List.length fixed.rows in
+  let incorrect =
+    List.length buggy.rows = List.length fixed.rows
+    && List.exists2 (fun (_, a) (_, b) -> a <> b) buggy.rows fixed.rows
+  in
+  let ext = buggy.ext_error && not fixed.ext_error in
+  List.filter_map
+    (fun (flag, sym) -> if flag then Some sym else None)
+    [
+      (stuck, Taxonomy.App_stuck);
+      (loss, Taxonomy.Data_loss);
+      (incorrect, Taxonomy.Incorrect_output);
+      (ext, Taxonomy.External_error);
+    ]
+
+(* Push-button reproduction: the expected symptoms all manifest. *)
+let reproduces (bug : t) : bool =
+  let observed = observed_symptoms bug in
+  List.for_all (fun s -> List.mem s observed) bug.symptoms
+
+(* Convenience constructors for stimuli. *)
+let b = Bits.of_int
+let hi = b ~width:1 1
+let lo = b ~width:1 0
+
+(* Signals whose driving logic differs between the buggy and fixed
+   versions - the registers a localization tool should lead the
+   developer to. *)
+let changed_signals (bug : t) : string list =
+  let assignments src =
+    let design = Fpga_hdl.Parser.parse_design src in
+    match Ast.find_module design bug.top with
+    | None -> []
+    | Some m ->
+        let decl_sigs =
+          List.map
+            (fun (d : Ast.decl) -> (d.Ast.name, `Decl (d.Ast.width, d.Ast.depth)))
+            m.Ast.decls
+        in
+        let assign_sigs =
+          List.concat_map
+            (fun (a : Ast.always) ->
+              List.map
+                (fun (l, rhs, cond) ->
+                  ( String.concat "," (Ast.lvalue_bases l),
+                    `Assign (l, rhs, cond) ))
+                (Fpga_analysis.Path_constraint.assignments_of_always a))
+            m.Ast.always_blocks
+          @ List.map
+              (fun (l, rhs) ->
+                (String.concat "," (Ast.lvalue_bases l), `Assign (l, rhs, Ast.true_expr)))
+              m.Ast.assigns
+        in
+        (* a fix can also rewire an instance: key each connection by
+           instance and formal so swapped operands surface as changes *)
+        let conn_sigs =
+          List.concat_map
+            (fun (i : Ast.instance) ->
+              List.map
+                (fun (c : Ast.connection) ->
+                  ( String.concat ","
+                      (Ast.dedup (Ast.expr_reads c.Ast.actual)),
+                    `Conn (i.Ast.inst_name, c.Ast.formal, c.Ast.actual) ))
+                i.Ast.conns)
+            m.Ast.instances
+        in
+        decl_sigs @ assign_sigs @ conn_sigs
+  in
+  let buggy = assignments bug.buggy_src and fixed = assignments bug.fixed_src in
+  let diff a b =
+    List.filter_map
+      (fun (name, payload) ->
+        if List.exists (fun (n, p) -> n = name && p = payload) b then None
+        else Some name)
+      a
+  in
+  (diff buggy fixed @ diff fixed buggy)
+  |> List.concat_map (String.split_on_char ',')
+  |> Ast.dedup

@@ -1,0 +1,79 @@
+(** The reproducible-bug record (section 6.1, Table 2).
+
+    Each bug carries the buggy Verilog source, the fixed source (the
+    upstream patch reduced to our subset), a stimulus that triggers the
+    symptom push-button, observation hooks, and metadata tying it to the
+    study taxonomy and the tools that help localize it.
+
+    Reproduction is differential: the same stimulus drives the buggy and
+    the fixed design, and symptoms are derived from how the runs diverge
+    (missing output rows = data loss, different rows = incorrect output,
+    unmet completion = stuck, tripped shell monitor = external error). *)
+
+type tool = SC | FSM | Stat | Dep | LC
+
+val tool_name : tool -> string
+
+type t = {
+  id : string;  (** Table 2 identifier, e.g. "D1" *)
+  subclass : Fpga_study.Taxonomy.subclass;
+  application : string;
+  platform : Fpga_resources.Platforms.kind;
+  symptoms : Fpga_study.Taxonomy.symptom list;  (** expected, per Table 2 *)
+  helpful_tools : tool list;
+  description : string;
+  top : string;
+  buggy_src : string;
+  fixed_src : string;
+  stimulus : Fpga_sim.Testbench.stimulus;
+  max_cycles : int;
+  sample : Fpga_sim.Simulator.t -> (string * int) list option;
+      (** a valid output row of the design, when present this cycle *)
+  done_when : (Fpga_sim.Simulator.t -> bool) option;
+      (** completion condition; unmet = the "stuck" symptom *)
+  ext_monitor : (Fpga_sim.Simulator.t -> bool) option;
+      (** FPGA-shell-style external monitor (protocol checker, address
+          range checker); tripping it is the "Ext" symptom *)
+  loss_spec : Fpga_debug.Losscheck.spec option;
+  loss_root : string option;
+      (** the register LossCheck is expected to localize *)
+  ground_truth : (Fpga_sim.Testbench.stimulus * int) list;
+      (** passing stimuli used for false-positive filtering *)
+  manual_fsms : string list;
+      (** manually identified FSM state variables (section 4.2 accuracy) *)
+  stat_events : (string * string) list;  (** event name, 1-bit signal *)
+  dep_target : string option;
+  target_mhz : int;
+}
+
+type report = {
+  stuck : bool;
+  finished : bool;
+  rows : (int * (string * int) list) list;
+  ext_error : bool;
+  log : (int * string) list;
+}
+
+val design_of : t -> buggy:bool -> Fpga_hdl.Ast.design
+
+val run_design : t -> Fpga_hdl.Ast.design -> report
+(** Drive an arbitrary design (e.g. an instrumented one) with the bug's
+    stimulus and observation hooks. *)
+
+val run : t -> buggy:bool -> report
+
+val observed_symptoms : t -> Fpga_study.Taxonomy.symptom list
+(** Differential execution of the buggy vs. fixed design. *)
+
+val reproduces : t -> bool
+(** All expected symptoms manifest. *)
+
+val changed_signals : t -> string list
+(** Signals whose driving logic differs between the buggy and fixed
+    sources — where a localization tool should lead the developer. *)
+
+(** Stimulus-building helpers. *)
+
+val b : width:int -> int -> Fpga_bits.Bits.t
+val hi : Fpga_bits.Bits.t
+val lo : Fpga_bits.Bits.t

@@ -1,0 +1,511 @@
+(* Extended testbed: six more bugs from the 68-bug study, reproduced
+   beyond the paper's 20 (its section 3 footnote: "the rest of the bugs
+   could be reproduced with additional effort"). Together with the core
+   testbed these give every one of the 13 subclasses at least one
+   push-button reproduction - in particular the three subclasses Table 2
+   does not cover: Use-Without-Valid, API Misuse, and Erroneous
+   Expression. *)
+
+module Bits = Fpga_bits.Bits
+module Simulator = Fpga_sim.Simulator
+module Taxonomy = Fpga_study.Taxonomy
+
+let set k v l = (k, v) :: List.remove_assoc k l
+let b8 = Bits.of_int ~width:8
+
+let no_loss : Fpga_debug.Losscheck.spec option = None
+
+let base_bug : Bug.t =
+  {
+    id = "";
+    subclass = Taxonomy.Buffer_overflow;
+    application = "";
+    platform = Fpga_resources.Platforms.Generic;
+    symptoms = [];
+    helpful_tools = [ Bug.SC ];
+    description = "";
+    top = "";
+    buggy_src = "";
+    fixed_src = "";
+    stimulus = (fun _ -> []);
+    max_cycles = 100;
+    sample = (fun _ -> None);
+    done_when = None;
+    ext_monitor = None;
+    loss_spec = no_loss;
+    loss_root = None;
+    ground_truth = [];
+    manual_fsms = [];
+    stat_events = [];
+    dep_target = None;
+    target_mhz = 200;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E1 - WiFi controller packet staging overflow (study bug #5)        *)
+(* ------------------------------------------------------------------ *)
+
+let e1_source ~buggy =
+  let mem, ptr =
+    if buggy then ("reg [7:0] stage [0:63];", "reg [5:0]")
+    else ("reg [7:0] stage [0:127];", "reg [6:0]")
+  in
+  Printf.sprintf
+    {|
+module wifi_stage (
+  input clk,
+  input reset,
+  input hdr_valid,
+  input [7:0] pkt_len,
+  input in_valid,
+  input [7:0] in_data,
+  input emit,
+  output reg out_valid,
+  output reg [7:0] out_data,
+  output reg emit_abort
+);
+  %s
+  %s wptr;
+  %s rptr;
+  reg emitting;
+  reg [7:0] remaining;
+
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (reset) begin
+      wptr <= 0;
+      rptr <= 0;
+      emitting <= 1'b0;
+      emit_abort <= 1'b0;
+    end else begin
+      // byte 0 of the staging area holds the length header
+      if (hdr_valid) begin
+        stage[0] <= pkt_len;
+        wptr <= 4;  // bytes 1..3 reserved for addressing
+      end
+      if (in_valid) begin
+        stage[wptr] <= in_data;
+        wptr <= wptr + 1;
+      end
+      if (emit && !emitting) begin
+        // a corrupted header fails the sanity check and kills the emit
+        if (stage[0] > 8'd64) emit_abort <= 1'b1;
+        else begin
+          emitting <= 1'b1;
+          remaining <= stage[0];
+          rptr <= 4;
+        end
+      end
+      if (emitting) begin
+        if (remaining == 8'd0) emitting <= 1'b0;
+        else begin
+          out_valid <= 1'b1;
+          out_data <= stage[rptr];
+          rptr <= rptr + 1;
+          remaining <= remaining - 8'd1;
+        end
+      end
+    end
+  end
+endmodule
+|}
+    mem ptr ptr
+
+(* a maximum-length (62-byte) payload wraps the 64-entry staging area
+   and lands its tail on the length header *)
+let e1_stimulus cycle =
+  let len = 62 in
+  let base =
+    [ ("reset", Bug.lo); ("hdr_valid", Bug.lo); ("in_valid", Bug.lo);
+      ("emit", Bug.lo) ]
+  in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle = 1 then
+    base |> set "hdr_valid" Bug.hi |> set "pkt_len" (b8 len)
+  else if cycle >= 2 && cycle < 2 + len then
+    base |> set "in_valid" Bug.hi |> set "in_data" (b8 (0x80 + cycle))
+  else if cycle = 2 + len then set "emit" Bug.hi base
+  else base
+
+let e1 : Bug.t =
+  {
+    base_bug with
+    id = "E1";
+    subclass = Taxonomy.Buffer_overflow;
+    application = "WiFi Controller";
+    symptoms = [ Taxonomy.Data_loss ];
+    helpful_tools = [ Bug.SC; Bug.Stat ];
+    description =
+      "a maximum-length frame wraps the packet staging area and \
+       overwrites its own length header; the emit sanity check then \
+       drops the whole frame";
+    top = "wifi_stage";
+    buggy_src = e1_source ~buggy:true;
+    fixed_src = e1_source ~buggy:false;
+    stimulus = e1_stimulus;
+    max_cycles = 160;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some [ ("out_data", Simulator.read_int sim "out_data") ]
+        else None);
+    stat_events = [ ("bytes_in", "in_valid"); ("bytes_out", "out_valid") ];
+    dep_target = Some "out_data";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E2 - Nyuzi decode immediate truncation (study bug #8)              *)
+(* ------------------------------------------------------------------ *)
+
+let e2_source ~buggy =
+  let extend =
+    if buggy then "{18'd0, imm}" else "{{18{imm[13]}}, imm}"
+  in
+  Printf.sprintf
+    {|
+module nyuzi_decode (
+  input clk,
+  input in_valid,
+  input [31:0] instr,
+  input [31:0] rs,
+  output reg out_valid,
+  output reg [31:0] result
+);
+  wire [13:0] imm;
+  assign imm = instr[23:10];
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (in_valid) begin
+      out_valid <= 1'b1;
+      result <= rs + %s;
+    end
+  end
+endmodule
+|}
+    extend
+
+let e2_stimulus cycle =
+  let base = [ ("in_valid", Bug.lo) ] in
+  (* an instruction with a negative 14-bit immediate (-4) *)
+  let neg_imm = 0x3FFC in
+  if cycle = 1 then
+    base |> set "in_valid" Bug.hi
+    |> set "instr" (Bits.of_int ~width:32 (neg_imm lsl 10))
+    |> set "rs" (Bits.of_int ~width:32 100)
+  else base
+
+let e2 : Bug.t =
+  {
+    base_bug with
+    id = "E2";
+    subclass = Taxonomy.Bit_truncation;
+    application = "Nyuzi GPGPU";
+    symptoms = [ Taxonomy.Incorrect_output ];
+    helpful_tools = [ Bug.SC; Bug.Dep ];
+    description =
+      "the decoder zero-extends the 14-bit immediate, losing its sign";
+    top = "nyuzi_decode";
+    buggy_src = e2_source ~buggy:true;
+    fixed_src = e2_source ~buggy:false;
+    stimulus = e2_stimulus;
+    max_cycles = 8;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some [ ("result", Bits.to_int_trunc (Simulator.read sim "result")) ]
+        else None);
+    stat_events = [ ("decoded", "out_valid") ];
+    dep_target = Some "result";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E3 - Nyuzi L2 writeback/fill deadlock (study bug #30)              *)
+(* ------------------------------------------------------------------ *)
+
+let e3_source ~buggy =
+  let wb_cond = if buggy then "wb_pending && fill_done" else "wb_pending" in
+  Printf.sprintf
+    {|
+module nyuzi_l2 (
+  input clk,
+  input reset,
+  input miss,
+  output reg fill_done,
+  output reg req_done
+);
+  reg wb_pending;
+  reg fill_pending;
+  always @(posedge clk) begin
+    if (reset) begin
+      wb_pending <= 1'b0;
+      fill_pending <= 1'b0;
+      fill_done <= 1'b0;
+      req_done <= 1'b0;
+    end else begin
+      if (miss) begin
+        // a dirty miss needs a writeback followed by a line fill
+        wb_pending <= 1'b1;
+        fill_pending <= 1'b1;
+      end
+      // the writeback engine (buggy: waits for the fill it blocks)
+      if (%s) wb_pending <= 1'b0;
+      // the fill engine waits for the writeback buffer to drain
+      if (fill_pending && !wb_pending) begin
+        fill_pending <= 1'b0;
+        fill_done <= 1'b1;
+      end
+      if (fill_done) req_done <= 1'b1;
+    end
+  end
+endmodule
+|}
+    wb_cond
+
+let e3_stimulus cycle =
+  let base = [ ("reset", Bug.lo); ("miss", Bug.lo) ] in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle = 2 then set "miss" Bug.hi base
+  else base
+
+let e3 : Bug.t =
+  {
+    base_bug with
+    id = "E3";
+    subclass = Taxonomy.Deadlock;
+    application = "Nyuzi GPGPU";
+    symptoms = [ Taxonomy.App_stuck ];
+    helpful_tools = [ Bug.SC; Bug.Dep ];
+    description =
+      "the writeback engine waits for the fill it is itself blocking";
+    top = "nyuzi_l2";
+    buggy_src = e3_source ~buggy:true;
+    fixed_src = e3_source ~buggy:false;
+    stimulus = e3_stimulus;
+    max_cycles = 40;
+    done_when = Some (fun sim -> Simulator.read_int sim "req_done" = 1);
+    dep_target = Some "req_done";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E4 - verilog-axis use-without-valid (study bug #45)                *)
+(* ------------------------------------------------------------------ *)
+
+let e4_source ~buggy =
+  let acc =
+    if buggy then "sum <= sum + tdata;"
+    else "if (tvalid) sum <= sum + tdata;"
+  in
+  Printf.sprintf
+    {|
+module axis_sum (
+  input clk,
+  input reset,
+  input tvalid,
+  input [7:0] tdata,
+  input tlast,
+  output reg out_valid,
+  output reg [7:0] out_sum
+);
+  reg [7:0] sum;
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (reset) sum <= 8'd0;
+    else begin
+      %s
+      if (tvalid && tlast) begin
+        out_valid <= 1'b1;
+        out_sum <= sum + tdata;
+        sum <= 8'd0;
+      end
+    end
+  end
+endmodule
+|}
+    acc
+
+(* the bus carries garbage between beats; the buggy design folds it in *)
+let e4_stimulus cycle =
+  let base = [ ("reset", Bug.lo); ("tvalid", Bug.lo); ("tlast", Bug.lo) ] in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle = 2 then base |> set "tvalid" Bug.hi |> set "tdata" (b8 10)
+  else if cycle = 3 then base |> set "tdata" (b8 0x6B)  (* invalid-cycle noise *)
+  else if cycle = 5 then
+    base |> set "tvalid" Bug.hi |> set "tdata" (b8 20) |> set "tlast" Bug.hi
+  else if cycle = 6 then base |> set "tdata" (b8 0) |> set "tlast" Bug.lo
+  else base
+
+let e4 : Bug.t =
+  {
+    base_bug with
+    id = "E4";
+    subclass = Taxonomy.Use_without_valid;
+    application = "verilog-axis";
+    symptoms = [ Taxonomy.Incorrect_output ];
+    helpful_tools = [ Bug.SC; Bug.Stat; Bug.Dep ];
+    description = "the accumulator folds in tdata on cycles where tvalid is low";
+    top = "axis_sum";
+    buggy_src = e4_source ~buggy:true;
+    fixed_src = e4_source ~buggy:false;
+    stimulus = e4_stimulus;
+    max_cycles = 12;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some [ ("sum", Simulator.read_int sim "out_sum") ]
+        else None);
+    stat_events = [ ("beats", "tvalid"); ("sums", "out_valid") ];
+    dep_target = Some "out_sum";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E5 - comparator macro instantiated with reversed operands (#50)    *)
+(* ------------------------------------------------------------------ *)
+
+let e5_source ~buggy =
+  let conns = if buggy then ".x(threshold), .y(sample)" else ".x(sample), .y(threshold)" in
+  Printf.sprintf
+    {|
+module greater_than (
+  input [7:0] x,
+  input [7:0] y,
+  output result
+);
+  assign result = x > y;
+endmodule
+
+module adi_limiter (
+  input clk,
+  input in_valid,
+  input [7:0] sample,
+  input [7:0] threshold,
+  output reg out_valid,
+  output reg over_limit
+);
+  wire cmp;
+  greater_than u_cmp (%s, .result(cmp));
+  always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (in_valid) begin
+      out_valid <= 1'b1;
+      over_limit <= cmp;
+    end
+  end
+endmodule
+|}
+    conns
+
+let e5_stimulus cycle =
+  let base =
+    [ ("in_valid", Bug.lo); ("threshold", b8 100) ]
+  in
+  if cycle = 1 then base |> set "in_valid" Bug.hi |> set "sample" (b8 150)
+  else if cycle = 3 then base |> set "in_valid" Bug.hi |> set "sample" (b8 50)
+  else base
+
+let e5 : Bug.t =
+  {
+    base_bug with
+    id = "E5";
+    subclass = Taxonomy.Api_misuse;
+    application = "Analog Devices HDL";
+    symptoms = [ Taxonomy.Incorrect_output ];
+    helpful_tools = [ Bug.SC; Bug.Dep ];
+    description =
+      "the greater_than module is instantiated with x and y swapped, so \
+       the limiter computes threshold > sample";
+    top = "adi_limiter";
+    buggy_src = e5_source ~buggy:true;
+    fixed_src = e5_source ~buggy:false;
+    stimulus = e5_stimulus;
+    max_cycles = 8;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "out_valid" = 1 then
+          Some [ ("over", Simulator.read_int sim "over_limit") ]
+        else None);
+    stat_events = [ ("samples", "in_valid") ];
+    dep_target = Some "over_limit";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E6 - RSD erroneous loop bound (study bug #59)                      *)
+(* ------------------------------------------------------------------ *)
+
+let e6_source ~buggy =
+  let bound = if buggy then "i < last_index" else "i <= last_index" in
+  Printf.sprintf
+    {|
+module rsd_checksum (
+  input clk,
+  input reset,
+  input start,
+  input [3:0] last_index,
+  output reg busy,
+  output reg done_flag,
+  output reg [7:0] checksum
+);
+  reg [7:0] table_mem [0:15];
+  reg [3:0] i;
+  always @(posedge clk) begin
+    if (reset) begin
+      busy <= 1'b0;
+      done_flag <= 1'b0;
+      // the symbol table is preloaded by the host; model it here
+      table_mem[0] <= 8'd3;
+    end else if (start) begin
+      busy <= 1'b1;
+      done_flag <= 1'b0;
+      i <= 4'd0;
+      checksum <= 8'd0;
+      table_mem[1] <= 8'd5;
+      table_mem[2] <= 8'd7;
+      table_mem[3] <= 8'd11;
+    end else if (busy) begin
+      if (%s) begin
+        checksum <= checksum + table_mem[i];
+        i <= i + 4'd1;
+      end else begin
+        busy <= 1'b0;
+        done_flag <= 1'b1;
+      end
+    end
+  end
+endmodule
+|}
+    bound
+
+let e6_stimulus cycle =
+  let base =
+    [ ("reset", Bug.lo); ("start", Bug.lo);
+      ("last_index", Bits.of_int ~width:4 3) ]
+  in
+  if cycle = 0 then set "reset" Bug.hi base
+  else if cycle = 2 then set "start" Bug.hi base
+  else base
+
+let e6 : Bug.t =
+  {
+    base_bug with
+    id = "E6";
+    subclass = Taxonomy.Erroneous_expression;
+    application = "Reed-Solomon Decoder";
+    symptoms = [ Taxonomy.Incorrect_output ];
+    helpful_tools = [ Bug.SC; Bug.FSM; Bug.Dep ];
+    description =
+      "the accumulation loop uses < where <= is required, so the final \
+       table entry is never folded into the checksum";
+    top = "rsd_checksum";
+    buggy_src = e6_source ~buggy:true;
+    fixed_src = e6_source ~buggy:false;
+    stimulus = e6_stimulus;
+    max_cycles = 20;
+    sample =
+      (fun sim ->
+        if Simulator.read_int sim "done_flag" = 1 then
+          Some [ ("checksum", Simulator.read_int sim "checksum") ]
+        else None);
+    done_when = Some (fun sim -> Simulator.read_int sim "done_flag" = 1);
+    dep_target = Some "checksum";
+  }
+
+let all = [ e1; e2; e3; e4; e5; e6 ]

@@ -1,0 +1,96 @@
+(* The per-bug debugging recipe of Table 2: instrument the buggy design
+   with the monitors marked helpful for it, then compile the resulting
+   $display statements into recording logic with SignalCat (the
+   "on-FPGA" use case measured in Figure 2). *)
+
+module Ast = Fpga_hdl.Ast
+
+type instrumented = {
+  baseline : Ast.module_def;
+  with_monitors : Ast.module_def;  (* monitors applied, displays intact *)
+  on_fpga : Ast.module_def;  (* displays compiled into recording logic *)
+  signalcat_plan : Fpga_debug.Signalcat.plan;
+  monitor_loc : int;  (* Verilog lines inserted by the monitors *)
+  recording_loc : int;  (* lines inserted by SignalCat's recording logic *)
+}
+
+let apply ?(buffer_depth = 8192) (bug : Bug.t) : instrumented =
+  let design = Bug.design_of bug ~buggy:true in
+  let baseline =
+    match Ast.find_module design bug.Bug.top with
+    | Some m -> m
+    | None -> invalid_arg ("Recipe.apply: no module " ^ bug.Bug.top)
+  in
+  (* Use case 1 of section 6.2: SignalCat plus all three monitors are
+     applied to every bug. *)
+  let m = ref baseline in
+  let fsm_plan = Fpga_debug.Fsm_monitor.plan !m in
+  m := Fpga_debug.Fsm_monitor.instrument fsm_plan !m;
+  if bug.Bug.stat_events <> [] then (
+    let events =
+      List.map
+        (fun (name, signal) ->
+          { Fpga_debug.Stat_monitor.event_name = name;
+            trigger = Ast.Ident signal })
+        bug.Bug.stat_events
+    in
+    let plan = Fpga_debug.Stat_monitor.plan !m events in
+    m := Fpga_debug.Stat_monitor.instrument ~log_changes:true plan !m);
+  (match bug.Bug.dep_target with
+  | Some target ->
+      let plan =
+        Fpga_debug.Dep_monitor.analyze ~design ~target ~cycles:8 !m
+      in
+      m := Fpga_debug.Dep_monitor.instrument plan !m
+  | None -> ());
+  let with_monitors = !m in
+  let on_fpga, signalcat_plan =
+    Fpga_debug.Signalcat.apply ~buffer_depth Fpga_debug.Signalcat.On_fpga
+      with_monitors
+  in
+  {
+    baseline;
+    with_monitors;
+    on_fpga;
+    signalcat_plan;
+    monitor_loc =
+      Fpga_debug.Instrument.added_loc ~before:baseline ~after:with_monitors;
+    recording_loc =
+      (* gross size of the recording logic, measured against the
+         display-stripped design *)
+      Fpga_debug.Instrument.added_loc
+        ~before:(Fpga_debug.Signalcat.strip_displays_module with_monitors)
+        ~after:on_fpga;
+  }
+
+(* Resource overhead of the recipe at a given recording depth
+   (one point of Figure 2). *)
+let overhead ?(buffer_depth = 8192) (bug : Bug.t) : Fpga_resources.Model.usage =
+  let r = apply ~buffer_depth bug in
+  Fpga_resources.Model.overhead ~baseline:r.baseline ~instrumented:r.on_fpga
+
+(* Timing closure of the instrumented design (section 6.4). *)
+let timing ?(buffer_depth = 8192) (bug : Bug.t) :
+    Fpga_resources.Model.timing * Fpga_resources.Model.timing =
+  let r = apply ~buffer_depth bug in
+  let platform = Fpga_resources.Platforms.of_kind bug.Bug.platform in
+  let before =
+    Fpga_resources.Model.timing platform r.baseline
+      ~target_mhz:bug.Bug.target_mhz
+  in
+  let after =
+    Fpga_resources.Model.timing ~instrumented:true platform r.on_fpga
+      ~target_mhz:bug.Bug.target_mhz
+  in
+  (before, after)
+
+(* LossCheck instrumentation overhead (Figure 3). *)
+let losscheck_overhead (bug : Bug.t) : Fpga_resources.Model.usage option =
+  match bug.Bug.loss_spec with
+  | None -> None
+  | Some spec ->
+      let design = Bug.design_of bug ~buggy:true in
+      let m = Option.get (Ast.find_module design bug.Bug.top) in
+      let plan = Fpga_debug.Losscheck.analyze spec m in
+      let instrumented = Fpga_debug.Losscheck.instrument plan m in
+      Some (Fpga_resources.Model.overhead ~baseline:m ~instrumented)

@@ -1,0 +1,36 @@
+(* All reproducible bugs of the testbed, in Table 2 order. *)
+
+let all : Bug.t list =
+  [
+    App_rsd.bug;          (* D1 *)
+    App_grayscale.bug;    (* D2 *)
+    App_optimus.d3;       (* D3 *)
+    App_frame_fifo.d4;    (* D4 *)
+    App_sha512.d5;        (* D5 *)
+    App_fft.bug;          (* D6 *)
+    App_fadd.bug;         (* D7 *)
+    App_axis_switch.bug;  (* D8 *)
+    App_sdspi.d9;         (* D9 *)
+    App_sha512.d10;       (* D10 *)
+    App_frame_fifo.d11;   (* D11 *)
+    App_frame_fifo.d12;   (* D12 *)
+    App_frame_len.bug;    (* D13 *)
+    App_sdspi.c1;         (* C1 *)
+    App_optimus.c2;       (* C2 *)
+    App_sdspi.c3;         (* C3 *)
+    App_axis_fifo.bug;    (* C4 *)
+    App_axil_demo.bug;    (* S1 *)
+    App_axis_demo.bug;    (* S2 *)
+    App_axis_adapter.bug; (* S3 *)
+  ]
+
+let find id = List.find_opt (fun (b : Bug.t) -> b.Bug.id = id) all
+let ids = List.map (fun (b : Bug.t) -> b.Bug.id) all
+
+(* Bugs whose loss_spec makes them LossCheck targets. *)
+let loss_bugs = List.filter (fun (b : Bug.t) -> b.Bug.loss_spec <> None) all
+
+(* The extended reproductions beyond Table 2 (see Extended, App_cpu). *)
+let extended : Bug.t list = Extended.all @ [ App_cpu.e7; App_cpu.e8 ]
+
+let all_with_extended = all @ extended

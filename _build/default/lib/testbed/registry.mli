@@ -1,0 +1,17 @@
+(** The reproducible-bug testbed of Table 2, in paper order:
+    D1–D13 (data mis-access), C1–C4 (communication), S1–S3 (semantic). *)
+
+val all : Bug.t list
+val find : string -> Bug.t option
+val ids : string list
+
+val loss_bugs : Bug.t list
+(** The bugs with a LossCheck specification — the section 6.3
+    data-loss evaluation set. *)
+
+val extended : Bug.t list
+(** Eight additional study bugs reproduced beyond Table 2 (E1-E8,
+    including two on the reduced CPU core), completing push-button
+    coverage of all 13 subclasses. *)
+
+val all_with_extended : Bug.t list

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Ast Deps Fpga_analysis Fpga_bits Fpga_hdl Fpga_testbed Fsm_detect Ip_models Lint List Parser Path_constraint Pp_verilog Propagation String Width

@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bits Fpga_bits List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hdl.ml: Alcotest Ast Builder Fpga_analysis Fpga_bits Fpga_hdl Lexer List Option Parser Pp_verilog Printf QCheck2 QCheck_alcotest String

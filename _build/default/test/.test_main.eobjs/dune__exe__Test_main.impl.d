@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_analysis Test_bits Test_core Test_hdl Test_report Test_resources Test_sim Test_study Test_testbed

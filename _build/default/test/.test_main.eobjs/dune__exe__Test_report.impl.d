@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Fpga_report Fpga_resources Fpga_testbed List Printf String

@@ -1,0 +1,1 @@
+test/test_resources.ml: Alcotest Fpga_debug Fpga_hdl Fpga_resources List Model Parser Platforms

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Ast Elaborate Eval Fpga_bits Fpga_hdl Fpga_sim Hashtbl List Option Parser Pp_verilog Printf QCheck2 QCheck_alcotest Simulator String Testbench Vcd Waveform

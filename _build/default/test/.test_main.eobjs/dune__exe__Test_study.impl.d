@@ -1,0 +1,1 @@
+test/test_study.ml: Alcotest Bug_db Fpga_analysis Fpga_hdl Fpga_sim Fpga_study List Printf Snippets String Taxonomy

@@ -1,0 +1,1 @@
+test/test_testbed.ml: Alcotest App_grayscale App_rsd App_sdspi Bug Fpga_analysis Fpga_debug Fpga_hdl Fpga_sim Fpga_study Fpga_testbed List Option Printf Registry String

@@ -1,0 +1,280 @@
+(* Unit and property tests for the Bits bit-vector library. *)
+
+open Fpga_bits
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let test_construction () =
+  check_int "zero width" 8 (Bits.width (Bits.zero 8));
+  check_int "zero value" 0 (Bits.to_int (Bits.zero 8));
+  check_int "one" 1 (Bits.to_int (Bits.one 8));
+  check_int "ones 4" 15 (Bits.to_int (Bits.ones 4));
+  check_int "of_int" 42 (Bits.to_int (Bits.of_int ~width:8 42));
+  check_int "of_int truncates" 0x2A (Bits.to_int (Bits.of_int ~width:8 0x12A));
+  check_int "of_int negative wraps" 0xFF (Bits.to_int (Bits.of_int ~width:8 (-1)));
+  check_int "of_int neg wide" 0xFFFF_FFFF
+    (Bits.to_int (Bits.of_int ~width:32 (-1)));
+  check_bool "of_bool" true (Bits.bit (Bits.of_bool true) 0);
+  Alcotest.check_raises "width 0 rejected" (Invalid_argument "Bits: width 0 < 1")
+    (fun () -> ignore (Bits.zero 0))
+
+let test_wide () =
+  (* 128-bit arithmetic sanity *)
+  let a = Bits.of_hex_string ~width:128 "ffffffffffffffff" in
+  let b = Bits.one 128 in
+  let s = Bits.add a b in
+  check_string "2^64" "00000000000000010000000000000000" (Bits.to_hex_string s);
+  let back = Bits.sub s b in
+  check_bool "sub inverse" true (Bits.equal a back)
+
+let test_strings () =
+  check_int "binary" 10 (Bits.to_int (Bits.of_binary_string "1010"));
+  check_int "binary underscores" 10 (Bits.to_int (Bits.of_binary_string "10_10"));
+  check_int "hex" 0xDEAD (Bits.to_int (Bits.of_hex_string ~width:16 "dead"));
+  check_int "hex underscore" 0xBEEF
+    (Bits.to_int (Bits.of_hex_string ~width:16 "be_ef"));
+  check_int "decimal" 1234 (Bits.to_int (Bits.of_decimal_string ~width:16 "1234"));
+  check_string "to_binary" "1010" (Bits.to_binary_string (Bits.of_int ~width:4 10));
+  check_string "to_hex pads" "0f" (Bits.to_hex_string (Bits.of_int ~width:8 15));
+  check_string "to_string" "8'h2a" (Bits.to_string (Bits.of_int ~width:8 42))
+
+let test_arith () =
+  let b8 n = Bits.of_int ~width:8 n in
+  check_int "add" 30 (Bits.to_int (Bits.add (b8 10) (b8 20)));
+  check_int "add wraps" 4 (Bits.to_int (Bits.add (b8 250) (b8 10)));
+  check_int "sub" 10 (Bits.to_int (Bits.sub (b8 30) (b8 20)));
+  check_int "sub wraps" 246 (Bits.to_int (Bits.sub (b8 10) (b8 20)));
+  check_int "mul" 200 (Bits.to_int (Bits.mul (b8 10) (b8 20)));
+  check_int "mul wraps" 0xBF (Bits.to_int (Bits.mul (b8 19) (b8 37)));
+  check_int "div" 4 (Bits.to_int (Bits.div (b8 9) (b8 2)));
+  check_int "rem" 1 (Bits.to_int (Bits.rem (b8 9) (b8 2)));
+  check_int "div by zero all ones" 255 (Bits.to_int (Bits.div (b8 9) (b8 0)));
+  check_int "rem by zero is lhs" 9 (Bits.to_int (Bits.rem (b8 9) (b8 0)));
+  check_int "neg" 246 (Bits.to_int (Bits.neg (b8 10)));
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Bits.add: width mismatch (8 vs 4)") (fun () ->
+      ignore (Bits.add (b8 1) (Bits.one 4)))
+
+let test_bitwise () =
+  let b8 = Bits.of_int ~width:8 in
+  check_int "and" 0x08 (Bits.to_int (Bits.logand (b8 0x0C) (b8 0x0A)));
+  check_int "or" 0x0E (Bits.to_int (Bits.logor (b8 0x0C) (b8 0x0A)));
+  check_int "xor" 0x06 (Bits.to_int (Bits.logxor (b8 0x0C) (b8 0x0A)));
+  check_int "not" 0xF3 (Bits.to_int (Bits.lognot (b8 0x0C)));
+  check_int "shl" 0x30 (Bits.to_int (Bits.shift_left (b8 0x0C) 2));
+  check_int "shl overflow drops" 0x80 (Bits.to_int (Bits.shift_left (b8 0xC1) 7));
+  check_int "shl by width" 0 (Bits.to_int (Bits.shift_left (b8 0xFF) 8));
+  check_int "shr" 0x03 (Bits.to_int (Bits.shift_right (b8 0x0C) 2));
+  check_int "asr positive" 0x03 (Bits.to_int (Bits.arith_shift_right (b8 0x0C) 2));
+  check_int "asr negative" 0xE0 (Bits.to_int (Bits.arith_shift_right (b8 0x80) 2));
+  check_int "asr saturates" 0xFF
+    (Bits.to_int (Bits.arith_shift_right (b8 0x80) 20))
+
+let test_structure () =
+  let v = Bits.of_int ~width:8 0b1011_0010 in
+  check_bool "bit 1" true (Bits.bit v 1);
+  check_bool "bit 0" false (Bits.bit v 0);
+  check_int "slice" 0b011 (Bits.to_int (Bits.slice v ~hi:6 ~lo:4));
+  check_int "slice width" 3 (Bits.width (Bits.slice v ~hi:6 ~lo:4));
+  let c = Bits.concat [ Bits.of_int ~width:4 0xA; Bits.of_int ~width:4 0x5 ] in
+  check_int "concat" 0xA5 (Bits.to_int c);
+  check_int "concat width" 8 (Bits.width c);
+  let r = Bits.repeat 3 (Bits.of_int ~width:2 0b10) in
+  check_int "repeat" 0b101010 (Bits.to_int r);
+  check_int "resize up" 0xB2 (Bits.to_int (Bits.resize v 16));
+  check_int "resize down" 0x2 (Bits.to_int (Bits.resize v 4));
+  check_int "sign extend neg" 0xFFB2 (Bits.to_int (Bits.sign_extend v 16));
+  check_int "sign extend pos" 0x32
+    (Bits.to_int (Bits.sign_extend (Bits.of_int ~width:8 0x32) 16));
+  let s = Bits.set_slice v ~hi:3 ~lo:0 (Bits.of_int ~width:4 0xF) in
+  check_int "set_slice" 0xBF (Bits.to_int s);
+  check_int "set_bit" 0xB3 (Bits.to_int (Bits.set_bit v 0 true));
+  Alcotest.check_raises "bad slice"
+    (Invalid_argument "Bits.slice: [9:0] out of range for width 8") (fun () ->
+      ignore (Bits.slice v ~hi:9 ~lo:0))
+
+let test_compare () =
+  let b8 = Bits.of_int ~width:8 in
+  check_bool "lt" true (Bits.lt (b8 3) (b8 5));
+  check_bool "le eq" true (Bits.le (b8 5) (b8 5));
+  check_bool "gt" true (Bits.gt (b8 7) (b8 5));
+  check_bool "ge" true (Bits.ge (b8 5) (b8 5));
+  check_bool "equal widths matter" false (Bits.equal (b8 5) (Bits.of_int ~width:4 5));
+  check_bool "equal_value across widths" true
+    (Bits.equal_value (b8 5) (Bits.of_int ~width:4 5));
+  check_bool "unsigned 0x80 > 1" true (Bits.gt (b8 0x80) (b8 1));
+  check_bool "signed 0x80 < 1" true (Bits.signed_lt (b8 0x80) (b8 1));
+  check_bool "signed le" true (Bits.signed_le (b8 0xFF) (b8 0));
+  check_int "to_signed_int" (-1) (Bits.to_signed_int (b8 0xFF));
+  check_int "to_signed_int pos" 5 (Bits.to_signed_int (b8 5))
+
+let test_reductions () =
+  let b4 = Bits.of_int ~width:4 in
+  check_bool "reduce_and all" true (Bits.reduce_and (b4 0xF));
+  check_bool "reduce_and some" false (Bits.reduce_and (b4 0x7));
+  check_bool "reduce_or zero" false (Bits.reduce_or (b4 0));
+  check_bool "reduce_or some" true (Bits.reduce_or (b4 2));
+  check_bool "reduce_xor odd" true (Bits.reduce_xor (b4 0b0111));
+  check_bool "reduce_xor even" false (Bits.reduce_xor (b4 0b0101));
+  check_bool "is_zero" true (Bits.is_zero (Bits.zero 100))
+
+(* Property tests ---------------------------------------------------- *)
+
+let gen_width = QCheck2.Gen.int_range 1 100
+
+let gen_bits =
+  QCheck2.Gen.(
+    gen_width >>= fun w ->
+    list_size (return w) bool >|= fun bs ->
+    List.fold_left
+      (fun (i, acc) b -> (i + 1, if b then Bits.set_bit acc i true else acc))
+      (0, Bits.zero w) bs
+    |> snd)
+
+let gen_pair =
+  QCheck2.Gen.(
+    gen_bits >>= fun a ->
+    list_size (return (Bits.width a)) bool >|= fun bs ->
+    let b =
+      List.fold_left
+        (fun (i, acc) x -> (i + 1, if x then Bits.set_bit acc i true else acc))
+        (0, Bits.zero (Bits.width a))
+        bs
+      |> snd
+    in
+    (a, b))
+
+let prop name gen f = QCheck2.Test.make ~count:300 ~name gen f
+
+let properties =
+  [
+    prop "add commutative" gen_pair (fun (a, b) ->
+        Bits.equal (Bits.add a b) (Bits.add b a));
+    prop "add/sub inverse" gen_pair (fun (a, b) ->
+        Bits.equal a (Bits.sub (Bits.add a b) b));
+    prop "neg is sub from zero" gen_bits (fun a ->
+        Bits.equal (Bits.neg a) (Bits.sub (Bits.zero (Bits.width a)) a));
+    prop "double negation" gen_bits (fun a -> Bits.equal a (Bits.neg (Bits.neg a)));
+    prop "not involutive" gen_bits (fun a ->
+        Bits.equal a (Bits.lognot (Bits.lognot a)));
+    prop "de morgan" gen_pair (fun (a, b) ->
+        Bits.equal
+          (Bits.lognot (Bits.logand a b))
+          (Bits.logor (Bits.lognot a) (Bits.lognot b)));
+    prop "xor self is zero" gen_bits (fun a -> Bits.is_zero (Bits.logxor a a));
+    prop "divmod reconstructs" gen_pair (fun (a, b) ->
+        QCheck2.assume (not (Bits.is_zero b));
+        let q = Bits.div a b and r = Bits.rem a b in
+        Bits.equal a (Bits.add (Bits.mul q b) r) && Bits.lt r b);
+    prop "binary round trip" gen_bits (fun a ->
+        Bits.equal a (Bits.of_binary_string (Bits.to_binary_string a)));
+    prop "hex round trip" gen_bits (fun a ->
+        Bits.equal a
+          (Bits.of_hex_string ~width:(Bits.width a) (Bits.to_hex_string a)));
+    prop "concat then slice recovers" gen_pair (fun (a, b) ->
+        let w = Bits.width a in
+        let c = Bits.concat [ a; b ] in
+        Bits.equal a (Bits.slice c ~hi:((2 * w) - 1) ~lo:w)
+        && Bits.equal b (Bits.slice c ~hi:(w - 1) ~lo:0));
+    prop "shift left then right" gen_bits (fun a ->
+        let w = Bits.width a in
+        QCheck2.assume (w > 2);
+        let masked = Bits.slice a ~hi:(w - 3) ~lo:0 in
+        Bits.equal_value masked
+          (Bits.shift_right (Bits.shift_left a 2) 2 |> fun v ->
+           Bits.slice v ~hi:(w - 3) ~lo:0));
+    prop "compare antisymmetric" gen_pair (fun (a, b) ->
+        Bits.compare a b = -Bits.compare b a);
+    prop "resize preserves low bits" gen_bits (fun a ->
+        let w = Bits.width a in
+        let up = Bits.resize a (w + 17) in
+        Bits.equal a (Bits.slice up ~hi:(w - 1) ~lo:0));
+    prop "sign extend preserves signed value" gen_bits (fun a ->
+        QCheck2.assume (Bits.width a <= 60);
+        let v = Bits.to_signed_int a in
+        Bits.to_signed_int (Bits.sign_extend a (Bits.width a + 3)) = v);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "construction" `Quick test_construction;
+    Alcotest.test_case "wide vectors" `Quick test_wide;
+    Alcotest.test_case "string conversions" `Quick test_strings;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "bitwise" `Quick test_bitwise;
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "comparisons" `Quick test_compare;
+    Alcotest.test_case "reductions" `Quick test_reductions;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest properties
+
+(* --- additional edge cases ----------------------------------------------- *)
+
+let test_conversion_edges () =
+  (* to_int refuses values beyond 62 bits but accepts wide vectors whose
+     value fits *)
+  let big = Bits.shift_left (Bits.one 100) 70 in
+  Alcotest.check_raises "to_int overflow"
+    (Failure "Bits.to_int: value exceeds 62 bits") (fun () ->
+      ignore (Bits.to_int big));
+  let small_in_wide = Bits.of_int ~width:100 12345 in
+  check_int "wide but small" 12345 (Bits.to_int small_in_wide);
+  check_int "to_int_trunc keeps the low bits" 0
+    (Bits.to_int_trunc big land 0xFFFF);
+  (* signed conversions at the width-1 boundaries *)
+  check_int "1-bit signed 1 is -1" (-1) (Bits.to_signed_int (Bits.one 1));
+  check_int "1-bit signed 0" 0 (Bits.to_signed_int (Bits.zero 1));
+  check_int "min int8" (-128) (Bits.to_signed_int (Bits.of_int ~width:8 0x80));
+  check_int "max int8" 127 (Bits.to_signed_int (Bits.of_int ~width:8 0x7F))
+
+let test_shift_edges () =
+  let v = Bits.of_int ~width:8 0xA5 in
+  check_int "shift by zero is identity" 0xA5 (Bits.to_int (Bits.shift_left v 0));
+  check_int "shift beyond width clears" 0
+    (Bits.to_int (Bits.shift_right v 100));
+  check_int "asr beyond width saturates sign" 0xFF
+    (Bits.to_int (Bits.arith_shift_right v 100));
+  Alcotest.check_raises "negative shift rejected"
+    (Invalid_argument "Bits.shift_left: negative shift") (fun () ->
+      ignore (Bits.shift_left v (-1)))
+
+let test_wide_ops_128 () =
+  let a = Bits.of_hex_string ~width:128 "0123456789abcdef0123456789abcdef" in
+  let b = Bits.lognot a in
+  check_bool "a and not a is zero" true (Bits.is_zero (Bits.logand a b));
+  check_bool "a or not a is ones" true (Bits.equal (Bits.logor a b) (Bits.ones 128));
+  let shifted = Bits.shift_left a 64 in
+  Alcotest.(check string)
+    "128-bit shift"
+    "0123456789abcdef0000000000000000"
+    (Bits.to_hex_string shifted);
+  check_bool "divmod holds at 128 bits" true
+    (let q = Bits.div a (Bits.of_int ~width:128 7) in
+     let r = Bits.rem a (Bits.of_int ~width:128 7) in
+     Bits.equal a (Bits.add (Bits.mul q (Bits.of_int ~width:128 7)) r))
+
+let prop_set_slice_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"set_slice then slice recovers"
+    QCheck2.Gen.(triple (int_range 8 40) (int_bound 1000000) (int_bound 1000000))
+    (fun (w, a, b) ->
+      let v = Bits.of_int ~width:w a in
+      let hi = (w / 2) + 1 and lo = 2 in
+      let chunk = Bits.of_int ~width:(hi - lo + 1) b in
+      let v' = Bits.set_slice v ~hi ~lo chunk in
+      Bits.equal (Bits.slice v' ~hi ~lo) chunk
+      && Bits.equal (Bits.slice v' ~hi:1 ~lo:0) (Bits.slice v ~hi:1 ~lo:0)
+      && (w - 1 < hi + 1
+         || Bits.equal
+              (Bits.slice v' ~hi:(w - 1) ~lo:(hi + 1))
+              (Bits.slice v ~hi:(w - 1) ~lo:(hi + 1))))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "conversion edges" `Quick test_conversion_edges;
+      Alcotest.test_case "shift edges" `Quick test_shift_edges;
+      Alcotest.test_case "wide 128-bit ops" `Quick test_wide_ops_128;
+      QCheck_alcotest.to_alcotest prop_set_slice_roundtrip;
+    ]

@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "fpga-debug"
+    [
+      ("bits", Test_bits.suite);
+      ("hdl", Test_hdl.suite);
+      ("sim", Test_sim.suite);
+      ("analysis", Test_analysis.suite);
+      ("core", Test_core.suite);
+      ("resources", Test_resources.suite);
+      ("study", Test_study.suite);
+      ("testbed", Test_testbed.suite);
+      ("report", Test_report.suite);
+    ]

@@ -1,0 +1,164 @@
+(* Tests for the analytic resource/frequency model (the Quartus/Vivado
+   substitute used by Figures 2 and 3). *)
+
+open Fpga_hdl
+open Fpga_resources
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let parse = Parser.parse_module
+
+let test_register_counting () =
+  let m =
+    parse
+      {|
+module m (input clk, output [7:0] o);
+  reg [7:0] a;
+  reg [15:0] c;
+  wire [7:0] w;
+  assign w = a;
+  assign o = w;
+  always @(posedge clk) begin
+    a <= a + 8'd1;
+    c <= c + 16'd1;
+  end
+endmodule
+|}
+  in
+  let u = Model.of_module m in
+  check_int "registers = sum of reg widths" 24 u.Model.registers;
+  check_int "no memories, no bram" 0 u.Model.bram_bits;
+  check_bool "adders cost logic" true (u.Model.logic > 0)
+
+let test_bram_counting () =
+  let m =
+    parse
+      {|
+module m (input clk, input [7:0] d, input [4:0] i, output [7:0] o);
+  reg [7:0] mem [0:31];
+  assign o = mem[i];
+  always @(posedge clk) mem[i] <= d;
+endmodule
+|}
+  in
+  let u = Model.of_module m in
+  check_int "bram bits = width x depth" 256 u.Model.bram_bits
+
+let test_ip_usage () =
+  let m =
+    parse
+      {|
+module m (input clk, input [7:0] d, input p, input r, output [7:0] q);
+  scfifo #(.lpm_width(8), .lpm_numwords(64)) u0 (
+    .clock(clk), .data(d), .wrreq(p), .rdreq(r), .q(q));
+endmodule
+|}
+  in
+  let u = Model.of_module m in
+  check_int "fifo storage counts as bram" 512 u.Model.bram_bits
+
+let test_buffer_scaling_is_linear () =
+  (* the key trend of Figure 2: recording BRAM grows linearly with the
+     buffer depth while registers and logic stay flat *)
+  let instrumented depth =
+    let m =
+      parse
+        {|
+module m (input clk, input [7:0] v, output reg [7:0] o);
+  always @(posedge clk) begin
+    o <= v;
+    if (v == 8'd7) $display("seven: %d", v);
+  end
+endmodule
+|}
+    in
+    let plan = Fpga_debug.Signalcat.analyze ~buffer_depth:depth m in
+    Model.of_module (Fpga_debug.Signalcat.instrument plan m)
+  in
+  let u1 = instrumented 1024 in
+  let u2 = instrumented 2048 in
+  let u4 = instrumented 4096 in
+  check_int "bram growth is linear in depth"
+    (2 * (u2.Model.bram_bits - u1.Model.bram_bits))
+    (u4.Model.bram_bits - u2.Model.bram_bits);
+  check_bool "bram strictly grows" true
+    (u1.Model.bram_bits < u2.Model.bram_bits && u2.Model.bram_bits < u4.Model.bram_bits);
+  check_bool "registers stable across depths" true
+    (abs (u2.Model.registers - u1.Model.registers) <= 1
+    && abs (u4.Model.registers - u2.Model.registers) <= 1);
+  (* the pointer width grows with log2(depth): logic is near-constant *)
+  check_bool "logic nearly stable across depths" true
+    (abs (u4.Model.logic - u1.Model.logic) <= 8)
+
+let test_overhead () =
+  let m =
+    parse
+      {|
+module m (input clk, input [7:0] v, output reg [7:0] o);
+  always @(posedge clk) o <= v;
+endmodule
+|}
+  in
+  let plan = Fpga_debug.Signalcat.analyze ~buffer_depth:1024 m in
+  let instrumented = Fpga_debug.Signalcat.instrument plan m in
+  let d = Model.overhead ~baseline:m ~instrumented in
+  (* no displays: no recording logic, zero overhead *)
+  check_int "zero overhead without displays" 0 d.Model.bram_bits
+
+let test_frequency_model () =
+  let shallow =
+    parse
+      {|
+module m (input clk, input [7:0] a, input [7:0] c, output reg [7:0] o);
+  always @(posedge clk) o <= a + c;
+endmodule
+|}
+  in
+  let deep =
+    parse
+      {|
+module m (input clk, input [7:0] a, input [7:0] c, output reg [7:0] o);
+  wire [7:0] w;
+  assign w = ((a * c) + (a * 8'd3)) * ((c * a) + (a + c));
+  always @(posedge clk) o <= (w * w) + ((w + a) * (w + c)) + (w * a) + (w * c);
+endmodule
+|}
+  in
+  let t_shallow = Model.timing Platforms.harp shallow ~target_mhz:400 in
+  let t_deep = Model.timing Platforms.harp deep ~target_mhz:400 in
+  check_bool "shallow meets 400" true t_shallow.Model.meets_target;
+  check_bool "deep misses 400" false t_deep.Model.meets_target;
+  check_bool "deep achieves a lower grid frequency" true
+    (t_deep.Model.achieved_mhz < 400);
+  check_bool "levels ordered" true
+    (Model.critical_levels deep > Model.critical_levels shallow)
+
+let test_normalization () =
+  let u = { Model.bram_bits = 555_622; registers = 17_088; logic = 4_272 } in
+  let norm = Model.normalize Platforms.harp u in
+  let get k = List.assoc k norm in
+  check_bool "bram ~1%" true (abs_float (get "bram" -. 1.0) < 0.01);
+  check_bool "registers ~1%" true (abs_float (get "registers" -. 1.0) < 0.01);
+  check_bool "logic ~1%" true (abs_float (get "logic" -. 1.0) < 0.01)
+
+let test_platforms () =
+  check_bool "harp bigger than kc705" true
+    (Platforms.harp.Platforms.bram_bits > Platforms.kc705.Platforms.bram_bits);
+  check_bool "generic maps to kc705" true
+    (Platforms.of_kind Platforms.Generic == Platforms.kc705);
+  check_bool "harp maps to harp" true
+    (Platforms.of_kind Platforms.Harp == Platforms.harp)
+
+let suite =
+  [
+    Alcotest.test_case "register counting" `Quick test_register_counting;
+    Alcotest.test_case "bram counting" `Quick test_bram_counting;
+    Alcotest.test_case "ip usage" `Quick test_ip_usage;
+    Alcotest.test_case "buffer scaling linear" `Quick
+      test_buffer_scaling_is_linear;
+    Alcotest.test_case "overhead" `Quick test_overhead;
+    Alcotest.test_case "frequency model" `Quick test_frequency_model;
+    Alcotest.test_case "normalization" `Quick test_normalization;
+    Alcotest.test_case "platforms" `Quick test_platforms;
+  ]

@@ -1,0 +1,682 @@
+(* Tests for elaboration and the cycle-accurate simulator. *)
+
+open Fpga_hdl
+open Fpga_sim
+module Bits = Fpga_bits.Bits
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let b w v = Bits.of_int ~width:w v
+let sim_of src top = Testbench.of_source ~top src
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_counter () =
+  let sim =
+    sim_of
+      {|
+module top (input clk, input reset, input enable, output reg [7:0] count);
+  always @(posedge clk) begin
+    if (reset) count <= 8'd0;
+    else if (enable) count <= count + 8'd1;
+  end
+endmodule
+|}
+      "top"
+  in
+  Simulator.set_input sim "reset" (b 1 1);
+  Simulator.step sim;
+  Simulator.set_input sim "reset" (b 1 0);
+  Simulator.set_input sim "enable" (b 1 1);
+  for _ = 1 to 5 do
+    Simulator.step sim
+  done;
+  check_int "count after 5 enables" 5 (Simulator.read_int sim "count");
+  Simulator.set_input sim "enable" (b 1 0);
+  Simulator.step sim;
+  check_int "count holds" 5 (Simulator.read_int sim "count")
+
+let test_nonblocking_swap () =
+  (* classic: non-blocking swap exchanges values every cycle *)
+  let sim =
+    sim_of
+      {|
+module top (input clk, output [7:0] xa, output [7:0] xb);
+  reg [7:0] a = 8'd1;
+  reg [7:0] b = 8'd2;
+  assign xa = a;
+  assign xb = b;
+  always @(posedge clk) begin
+    a <= b;
+    b <= a;
+  end
+endmodule
+|}
+      "top"
+  in
+  Simulator.step sim;
+  check_int "a swapped" 2 (Simulator.read_int sim "xa");
+  check_int "b swapped" 1 (Simulator.read_int sim "xb");
+  Simulator.step sim;
+  check_int "a swapped back" 1 (Simulator.read_int sim "xa")
+
+let test_blocking_in_seq () =
+  (* blocking assignment visible to the following statement *)
+  let sim =
+    sim_of
+      {|
+module top (input clk, output reg [7:0] y);
+  reg [7:0] t;
+  always @(posedge clk) begin
+    t = 8'd7;
+    y <= t + 8'd1;
+  end
+endmodule
+|}
+      "top"
+  in
+  Simulator.step sim;
+  check_int "blocking visible" 8 (Simulator.read_int sim "y")
+
+let test_comb_chain () =
+  let sim =
+    sim_of
+      {|
+module top (input [7:0] a, output [7:0] o);
+  wire [7:0] w1, w2;
+  assign o = w2 + 8'd1;
+  assign w2 = w1 * 8'd2;
+  assign w1 = a + 8'd3;
+endmodule
+|}
+      "top"
+  in
+  Simulator.set_input sim "a" (b 8 4);
+  Simulator.step sim;
+  (* ((4+3)*2)+1 = 15, assigns listed in anti-dependency order *)
+  check_int "comb chain" 15 (Simulator.read_int sim "o")
+
+let test_comb_cycle_detected () =
+  let raised =
+    try
+      ignore
+        (sim_of
+           {|
+module top (input a, output x);
+  wire y;
+  assign x = y & a;
+  assign y = x | a;
+endmodule
+|}
+           "top");
+      false
+    with Simulator.Combinational_cycle _ -> true
+  in
+  check_bool "cycle detected" true raised
+
+let test_hierarchy () =
+  let sim =
+    sim_of
+      {|
+module adder (input [7:0] x, input [7:0] y, output [7:0] s);
+  assign s = x + y;
+endmodule
+
+module top (input clk, input [7:0] a, output [7:0] out);
+  wire [7:0] mid;
+  adder u1 (.x(a), .y(8'd10), .s(mid));
+  adder u2 (.x(mid), .y(a), .s(out));
+endmodule
+|}
+      "top"
+  in
+  Simulator.set_input sim "a" (b 8 5);
+  Simulator.step sim;
+  check_int "two adders" 20 (Simulator.read_int sim "out")
+
+let test_parameter_override () =
+  let sim =
+    sim_of
+      {|
+module incr #(parameter STEP = 1) (input clk, output reg [7:0] v);
+  always @(posedge clk) v <= v + STEP;
+endmodule
+
+module top (input clk, output [7:0] v1, output [7:0] v3);
+  incr u1 (.clk(clk), .v(v1));
+  incr #(.STEP(3)) u3 (.clk(clk), .v(v3));
+endmodule
+|}
+      "top"
+  in
+  Simulator.run sim 4;
+  check_int "default step" 4 (Simulator.read_int sim "v1");
+  check_int "overridden step" 12 (Simulator.read_int sim "v3")
+
+let test_memory_overflow_semantics () =
+  (* Power-of-two memory wraps; non-power-of-two drops the write
+     (bug study section 3.2.1). *)
+  let src size =
+    Printf.sprintf
+      {|
+module top (input clk, input [7:0] idx, input [7:0] din, input we,
+            input [7:0] ridx, output [7:0] dout);
+  reg [7:0] m [0:%d];
+  assign dout = m[ridx];
+  always @(posedge clk) if (we) m[idx] <= din;
+endmodule
+|}
+      (size - 1)
+  in
+  (* size 8 (pow2): write at 9 lands at 1 *)
+  let sim = sim_of (src 8) "top" in
+  Simulator.set_input sim "we" (b 1 1);
+  Simulator.set_input sim "idx" (b 8 9);
+  Simulator.set_input sim "din" (b 8 0x5A);
+  Simulator.step sim;
+  Simulator.set_input sim "we" (b 1 0);
+  Simulator.set_input sim "ridx" (b 8 1);
+  Simulator.step sim;
+  check_int "pow2 wraps" 0x5A (Simulator.read_int sim "dout");
+  (* size 6 (non-pow2): write at 9 dropped *)
+  let sim = sim_of (src 6) "top" in
+  Simulator.set_input sim "we" (b 1 1);
+  Simulator.set_input sim "idx" (b 8 9);
+  Simulator.set_input sim "din" (b 8 0x5A);
+  Simulator.step sim;
+  Simulator.set_input sim "we" (b 1 0);
+  for k = 0 to 5 do
+    Simulator.set_input sim "ridx" (b 8 k);
+    Simulator.step sim;
+    check_int
+      (Printf.sprintf "non-pow2 untouched word %d" k)
+      0
+      (Simulator.read_int sim "dout")
+  done
+
+let test_display_log () =
+  let sim =
+    sim_of
+      {|
+module top (input clk, output reg [7:0] n);
+  always @(posedge clk) begin
+    n <= n + 8'd1;
+    if (n == 8'd2) $display("n reached two: %d (hex %h)", n, n);
+  end
+endmodule
+|}
+      "top"
+  in
+  Simulator.run sim 5;
+  match Simulator.log sim with
+  | [ (cycle, text) ] ->
+      check_int "display at cycle" 2 cycle;
+      Alcotest.(check string) "text" "n reached two: 2 (hex 02)" text
+  | l -> Alcotest.failf "expected one log entry, got %d" (List.length l)
+
+let test_finish () =
+  let sim =
+    sim_of
+      {|
+module top (input clk, output reg [7:0] n);
+  always @(posedge clk) begin
+    n <= n + 8'd1;
+    if (n == 8'd3) $finish;
+  end
+endmodule
+|}
+      "top"
+  in
+  Simulator.run sim 100;
+  check_bool "finished" true (Simulator.finished sim);
+  check_bool "stopped early" true (Simulator.cycle sim < 10)
+
+let test_scfifo () =
+  let sim =
+    sim_of
+      {|
+module top (input clk, input [7:0] din, input push, input pop,
+            output [7:0] front, output is_empty, output is_full);
+  scfifo #(.lpm_width(8), .lpm_numwords(4)) q0 (
+    .clock(clk), .data(din), .wrreq(push), .rdreq(pop),
+    .q(front), .empty(is_empty), .full(is_full));
+endmodule
+|}
+      "top"
+  in
+  check_int "initially empty" 1 (Simulator.read_int sim "is_empty");
+  Simulator.set_input sim "push" (b 1 1);
+  Simulator.set_input sim "din" (b 8 11);
+  Simulator.step sim;
+  Simulator.set_input sim "din" (b 8 22);
+  Simulator.step sim;
+  Simulator.set_input sim "push" (b 1 0);
+  Simulator.step sim;
+  check_int "not empty" 0 (Simulator.read_int sim "is_empty");
+  check_int "show-ahead front" 11 (Simulator.read_int sim "front");
+  Simulator.set_input sim "pop" (b 1 1);
+  Simulator.step sim;
+  check_int "front after pop" 22 (Simulator.read_int sim "front");
+  Simulator.step sim;
+  Simulator.set_input sim "pop" (b 1 0);
+  Simulator.step sim;
+  check_int "empty again" 1 (Simulator.read_int sim "is_empty");
+  (* fill to full *)
+  Simulator.set_input sim "push" (b 1 1);
+  Simulator.run sim 6;
+  check_int "full" 1 (Simulator.read_int sim "is_full")
+
+let test_altsyncram () =
+  let sim =
+    sim_of
+      {|
+module top (input clk, input [3:0] addr, input [7:0] din, input we,
+            output [7:0] q);
+  altsyncram #(.width_a(8), .numwords_a(16)) ram (
+    .clock0(clk), .address_a(addr), .data_a(din), .wren_a(we), .q_a(q));
+endmodule
+|}
+      "top"
+  in
+  Simulator.set_input sim "we" (b 1 1);
+  Simulator.set_input sim "addr" (b 4 3);
+  Simulator.set_input sim "din" (b 8 99);
+  Simulator.step sim;
+  Simulator.set_input sim "we" (b 1 0);
+  Simulator.step sim;
+  (* registered read: q shows word 3 after a cycle with addr=3 *)
+  check_int "ram readback" 99 (Simulator.read_int sim "q")
+
+let test_concat_lvalue () =
+  let sim =
+    sim_of
+      {|
+module top (input clk, input [7:0] a, input [7:0] bb, output reg co,
+            output reg [7:0] s);
+  always @(posedge clk) {co, s} <= a + bb;
+endmodule
+|}
+      "top"
+  in
+  Simulator.set_input sim "a" (b 8 200);
+  Simulator.set_input sim "bb" (b 8 100);
+  Simulator.step sim;
+  check_int "sum low bits" ((200 + 100) land 0xFF) (Simulator.read_int sim "s");
+  check_int "carry out" 1 (Simulator.read_int sim "co")
+
+let stuck_src =
+  {|
+module top (input clk, input go, output reg done_flag);
+  always @(posedge clk) if (go) done_flag <= 1'b1;
+endmodule
+|}
+
+let test_testbench_stuck_detection () =
+  let outcome =
+    Testbench.run ~max_cycles:50
+      ~until:(fun s -> Simulator.read_int s "done_flag" = 1)
+      (sim_of stuck_src "top")
+      (Testbench.const_stimulus [ ("go", b 1 0) ])
+  in
+  check_bool "stuck when go never set" true outcome.Testbench.stuck;
+  let outcome2 =
+    Testbench.run ~max_cycles:50
+      ~until:(fun s -> Simulator.read_int s "done_flag" = 1)
+      (sim_of stuck_src "top")
+      (Testbench.const_stimulus [ ("go", b 1 1) ])
+  in
+  check_bool "not stuck when go set" false outcome2.Testbench.stuck
+
+let test_vcd () =
+  let design =
+    Parser.parse_design
+      {|
+module top (input clk, output reg [3:0] n);
+  always @(posedge clk) n <= n + 4'd1;
+endmodule
+|}
+  in
+  let flat = Elaborate.elaborate design ~top:"top" in
+  let sim = Simulator.create flat in
+  let vcd = Vcd.create flat in
+  for _ = 1 to 3 do
+    Simulator.step sim;
+    Vcd.sample vcd sim
+  done;
+  let text = Vcd.contents vcd in
+  check_bool "has header" true (contains text "$enddefinitions");
+  check_bool "has samples" true (contains text "#3")
+
+let test_sha_width () =
+  (* 64-bit datapath sanity, as used by the SHA512 design *)
+  let sim =
+    sim_of
+      {|
+module top (input clk, input [63:0] w, output reg [63:0] acc);
+  always @(posedge clk) acc <= acc + ({w[31:0], w[63:32]} ^ (w >> 7));
+endmodule
+|}
+      "top"
+  in
+  Simulator.set_input sim "w" (Bits.of_hex_string ~width:64 "0123456789abcdef");
+  Simulator.step sim;
+  let rotated = Bits.of_hex_string ~width:64 "89abcdef01234567" in
+  let shifted =
+    Bits.shift_right (Bits.of_hex_string ~width:64 "0123456789abcdef") 7
+  in
+  let expect = Bits.logxor rotated shifted in
+  Alcotest.(check string)
+    "64-bit xor/rotate" (Bits.to_hex_string expect)
+    (Bits.to_hex_string (Simulator.read sim "acc"))
+
+(* Determinism property: two simulators over the same design and random
+   stimulus produce identical output traces. *)
+let prop_deterministic =
+  QCheck2.Test.make ~count:50 ~name:"simulation is deterministic"
+    QCheck2.Gen.(list_size (return 20) (int_bound 255))
+    (fun inputs ->
+      let src =
+        {|
+module top (input clk, input [7:0] d, output reg [7:0] acc);
+  always @(posedge clk) acc <= acc + (d ^ {d[3:0], d[7:4]});
+endmodule
+|}
+      in
+      let run () =
+        let sim = sim_of src "top" in
+        List.map
+          (fun v ->
+            Simulator.set_input sim "d" (b 8 v);
+            Simulator.step sim;
+            Simulator.read_int sim "acc")
+          inputs
+      in
+      run () = run ())
+
+let suite =
+  [
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "nonblocking swap" `Quick test_nonblocking_swap;
+    Alcotest.test_case "blocking in seq" `Quick test_blocking_in_seq;
+    Alcotest.test_case "comb chain order" `Quick test_comb_chain;
+    Alcotest.test_case "comb cycle detected" `Quick test_comb_cycle_detected;
+    Alcotest.test_case "hierarchy" `Quick test_hierarchy;
+    Alcotest.test_case "parameter override" `Quick test_parameter_override;
+    Alcotest.test_case "memory overflow semantics" `Quick
+      test_memory_overflow_semantics;
+    Alcotest.test_case "display log" `Quick test_display_log;
+    Alcotest.test_case "finish" `Quick test_finish;
+    Alcotest.test_case "scfifo primitive" `Quick test_scfifo;
+    Alcotest.test_case "altsyncram primitive" `Quick test_altsyncram;
+    Alcotest.test_case "concat lvalue" `Quick test_concat_lvalue;
+    Alcotest.test_case "testbench stuck detection" `Quick
+      test_testbench_stuck_detection;
+    Alcotest.test_case "vcd output" `Quick test_vcd;
+    Alcotest.test_case "64-bit datapath" `Quick test_sha_width;
+    QCheck_alcotest.to_alcotest prop_deterministic;
+  ]
+
+(* --- waveform capture and diffing --------------------------------------- *)
+
+let waveform_counter ~buggy =
+  Printf.sprintf
+    {|
+module top (input clk, input en, output reg [7:0] n, output reg tick);
+  always @(posedge clk) begin
+    if (en) n <= n + 8'd%d;
+    tick <= ~tick;
+  end
+endmodule
+|}
+    (if buggy then 2 else 1)
+
+let waveform_stimulus cycle = [ ("en", b 1 (if cycle >= 2 then 1 else 0)) ]
+
+let test_waveform_capture () =
+  let design = Parser.parse_design (waveform_counter ~buggy:false) in
+  let w =
+    Waveform.capture ~max_cycles:10 ~top:"top" ~signals:[ "n"; "tick"; "en" ]
+      design waveform_stimulus
+  in
+  check_int "10 cycles captured" 10 w.Waveform.cycles;
+  check_int "three traces" 3 (List.length w.Waveform.traces);
+  let n = Option.get (Waveform.trace w "n") in
+  check_int "final count" 8 (Bits.to_int n.Waveform.values.(9));
+  let text = Waveform.render w in
+  check_bool "render shows the 1-bit rail" true (contains text "~");
+  check_bool "render names signals" true (contains text "tick")
+
+let test_waveform_diff () =
+  let cap ~buggy =
+    Waveform.capture ~max_cycles:10 ~top:"top" ~signals:[ "n"; "tick" ]
+      (Parser.parse_design (waveform_counter ~buggy))
+      waveform_stimulus
+  in
+  let fixed = cap ~buggy:false and buggy = cap ~buggy:true in
+  (match Waveform.first_divergence buggy fixed with
+  | Some d ->
+      check_int "diverges when en first rises" 2 d.Waveform.cycle;
+      Alcotest.(check string) "on the counter" "n" d.Waveform.signal
+  | None -> Alcotest.fail "expected divergence");
+  check_bool "tick never diverges" true
+    (List.for_all
+       (fun (d : Waveform.divergence) -> d.Waveform.signal <> "tick")
+       (Waveform.diff buggy fixed));
+  (* identical runs do not diverge *)
+  check_bool "self-diff empty" true (Waveform.diff fixed fixed = [])
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "waveform capture" `Quick test_waveform_capture;
+      Alcotest.test_case "waveform diff" `Quick test_waveform_diff;
+    ]
+
+(* --- checkpointing ------------------------------------------------------- *)
+
+let test_checkpoint_replay () =
+  (* replay property: restore + re-run equals the uninterrupted run *)
+  let src =
+    {|
+module top (input clk, input [7:0] d, output reg [7:0] acc, output reg [3:0] n);
+  reg [7:0] hist [0:7];
+  always @(posedge clk) begin
+    acc <= acc + d;
+    hist[n] <= d;
+    n <= n + 4'd1;
+    if (acc > 8'd200) $display("acc high: %d", acc);
+  end
+endmodule
+|}
+  in
+  let stim cycle = [ ("d", b 8 ((cycle * 37) land 0xFF)) ] in
+  let drive sim from upto =
+    for i = from to upto - 1 do
+      List.iter (fun (n, v) -> Simulator.set_input sim n v) (stim i);
+      Simulator.step sim
+    done
+  in
+  let observe sim =
+    ( Simulator.read_int sim "acc",
+      Simulator.read_int sim "n",
+      Array.map Bits.to_int (Simulator.read_memory sim "hist"),
+      Simulator.log sim )
+  in
+  (* uninterrupted reference run *)
+  let ref_sim = sim_of src "top" in
+  drive ref_sim 0 30;
+  let reference = observe ref_sim in
+  (* checkpointed run: snapshot at 10, keep going, then rewind and replay *)
+  let sim = sim_of src "top" in
+  drive sim 0 10;
+  let cp = Simulator.checkpoint sim in
+  drive sim 10 23;
+  Simulator.restore sim cp;
+  check_int "cycle rewound" 10 (Simulator.cycle sim);
+  drive sim 10 30;
+  check_bool "replay equals uninterrupted run" true (observe sim = reference)
+
+let test_checkpoint_fifo_state () =
+  let src =
+    {|
+module top (input clk, input [7:0] din, input push, input pop,
+            output [7:0] front, output is_empty);
+  scfifo #(.lpm_width(8), .lpm_numwords(4)) q0 (
+    .clock(clk), .data(din), .wrreq(push), .rdreq(pop),
+    .q(front), .empty(is_empty));
+endmodule
+|}
+  in
+  let sim = sim_of src "top" in
+  Simulator.set_input sim "push" (b 1 1);
+  Simulator.set_input sim "din" (b 8 42);
+  Simulator.step sim;
+  Simulator.set_input sim "push" (b 1 0);
+  Simulator.step sim;
+  let cp = Simulator.checkpoint sim in
+  (* drain the fifo, then rewind: the word must be back *)
+  Simulator.set_input sim "pop" (b 1 1);
+  Simulator.step sim;
+  Simulator.step sim;
+  check_int "drained" 1 (Simulator.read_int sim "is_empty");
+  Simulator.restore sim cp;
+  Simulator.set_input sim "pop" (b 1 0);
+  Simulator.step sim;
+  check_int "fifo content restored" 42 (Simulator.read_int sim "front");
+  check_int "not empty after restore" 0 (Simulator.read_int sim "is_empty")
+
+(* --- differential property: printed Verilog evaluates like the AST ------- *)
+
+(* Random expressions over fixed 8-bit inputs: the value computed by the
+   full pipeline (print -> parse -> elaborate -> simulate) equals direct
+   evaluation of the AST over the same environment. *)
+let prop_print_parse_simulate_eval =
+  let gen_leaf =
+    QCheck2.Gen.(
+      oneof
+        [
+          map (fun n -> Ast.Ident (Printf.sprintf "s%d" (abs n mod 3))) int;
+          map (fun n -> Ast.Const (Bits.of_int ~width:8 (abs n mod 256))) int;
+        ])
+  in
+  let gen_expr =
+    QCheck2.Gen.(
+      sized_size (int_range 0 5)
+      @@ fix (fun self n ->
+             if n = 0 then gen_leaf
+             else
+               oneof
+                 [
+                   gen_leaf;
+                   map2
+                     (fun a b -> Ast.Binop (Ast.Add, a, b))
+                     (self (n / 2)) (self (n / 2));
+                   map2
+                     (fun a b -> Ast.Binop (Ast.Sub, a, b))
+                     (self (n / 2)) (self (n / 2));
+                   map2
+                     (fun a b -> Ast.Binop (Ast.Bxor, a, b))
+                     (self (n / 2)) (self (n / 2));
+                   map2
+                     (fun a b -> Ast.Binop (Ast.Band, a, b))
+                     (self (n / 2)) (self (n / 2));
+                   map2
+                     (fun a b -> Ast.Binop (Ast.Lt, a, b))
+                     (self (n / 2)) (self (n / 2));
+                   map3
+                     (fun c a b -> Ast.Cond (c, a, b))
+                     (self (n / 2)) (self (n / 2)) (self (n / 2));
+                 ]))
+  in
+  QCheck2.Test.make ~count:150
+    ~name:"print/parse/simulate equals direct evaluation"
+    QCheck2.Gen.(pair gen_expr (triple (int_bound 255) (int_bound 255) (int_bound 255)))
+    (fun (e, (v0, v1, v2)) ->
+      let src =
+        Printf.sprintf
+          "module t (input [7:0] s0, input [7:0] s1, input [7:0] s2, output \
+           [7:0] o);\nassign o = %s;\nendmodule"
+          (Pp_verilog.expr_str e)
+      in
+      let sim = sim_of src "t" in
+      Simulator.set_input sim "s0" (b 8 v0);
+      Simulator.set_input sim "s1" (b 8 v1);
+      Simulator.set_input sim "s2" (b 8 v2);
+      Simulator.step sim;
+      let via_sim = Simulator.read_int sim "o" in
+      let env : Eval.env = Hashtbl.create 4 in
+      Hashtbl.replace env "s0" (Eval.Vec (b 8 v0));
+      Hashtbl.replace env "s1" (Eval.Vec (b 8 v1));
+      Hashtbl.replace env "s2" (Eval.Vec (b 8 v2));
+      let direct = Bits.to_int (Bits.resize (Eval.eval_ctx env ~ctx:8 e) 8) in
+      via_sim = direct)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "checkpoint replay" `Quick test_checkpoint_replay;
+      Alcotest.test_case "checkpoint fifo state" `Quick
+        test_checkpoint_fifo_state;
+      QCheck_alcotest.to_alcotest prop_print_parse_simulate_eval;
+    ]
+
+(* --- negedge semantics ---------------------------------------------------- *)
+
+let test_negedge_half_cycle () =
+  (* a negedge consumer observes the value the posedge producer wrote in
+     the same cycle - the SPI-style half-cycle handoff *)
+  let sim =
+    sim_of
+      {|
+module top (input clk, input [7:0] d, output reg [7:0] early, output reg [7:0] late);
+  reg [7:0] stage;
+  always @(posedge clk) stage <= d;
+  always @(negedge clk) late <= stage;
+  always @(posedge clk) early <= stage;
+endmodule
+|}
+      "top"
+  in
+  Simulator.set_input sim "d" (b 8 0x11);
+  Simulator.step sim;
+  (* cycle 0: posedge writes stage=0x11; early sampled old stage (0);
+     negedge then sees the fresh 0x11 *)
+  check_int "posedge consumer lags" 0 (Simulator.read_int sim "early");
+  check_int "negedge consumer sees same-cycle value" 0x11
+    (Simulator.read_int sim "late");
+  Simulator.set_input sim "d" (b 8 0x22);
+  Simulator.step sim;
+  check_int "early one behind" 0x11 (Simulator.read_int sim "early");
+  check_int "late up to date" 0x22 (Simulator.read_int sim "late")
+
+let test_negedge_spi_shift () =
+  (* drive on posedge, sample on negedge: a 4-bit SPI-style shifter
+     assembles the value within four cycles *)
+  let sim =
+    sim_of
+      {|
+module top (input clk, input mosi_bit, output reg [3:0] shifted);
+  reg mosi;
+  always @(posedge clk) mosi <= mosi_bit;
+  always @(negedge clk) shifted <= {shifted[2:0], mosi};
+endmodule
+|}
+      "top"
+  in
+  List.iter
+    (fun bit ->
+      Simulator.set_input sim "mosi_bit" (b 1 bit);
+      Simulator.step sim)
+    [ 1; 0; 1; 1 ];
+  check_int "bits assembled MSB-first" 0b1011 (Simulator.read_int sim "shifted")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "negedge half cycle" `Quick test_negedge_half_cycle;
+      Alcotest.test_case "negedge spi shift" `Quick test_negedge_spi_shift;
+    ]

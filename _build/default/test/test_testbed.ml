@@ -1,0 +1,488 @@
+(* Integration tests over the 20-bug testbed: every bug reproduces its
+   Table 2 symptoms push-button, the fixed version is clean, and each
+   tool marked helpful for a bug actually produces the localizing
+   evidence the paper describes (section 6.3). *)
+
+open Fpga_testbed
+module Taxonomy = Fpga_study.Taxonomy
+module Simulator = Fpga_sim.Simulator
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let all = Registry.all
+
+(* --- reproduction ---------------------------------------------------- *)
+
+let reproduction_tests =
+  List.map
+    (fun (bug : Bug.t) ->
+      Alcotest.test_case (bug.Bug.id ^ " reproduces") `Quick (fun () ->
+          let observed = Bug.observed_symptoms bug in
+          List.iter
+            (fun s ->
+              check_bool
+                (Printf.sprintf "%s shows %s" bug.Bug.id
+                   (Taxonomy.symptom_name s))
+                true (List.mem s observed))
+            bug.Bug.symptoms))
+    all
+
+let fixed_clean_tests =
+  List.map
+    (fun (bug : Bug.t) ->
+      Alcotest.test_case (bug.Bug.id ^ " fixed is clean") `Quick (fun () ->
+          let fixed = Bug.run bug ~buggy:false in
+          check_bool "fixed not stuck" false fixed.Bug.stuck;
+          check_bool "fixed no external error" false fixed.Bug.ext_error))
+    all
+
+(* --- testbed metadata ------------------------------------------------- *)
+
+let test_registry_shape () =
+  check_int "20 bugs" 20 (List.length all);
+  check_int "13 data mis-access" 13
+    (List.length
+       (List.filter
+          (fun (b : Bug.t) ->
+            Taxonomy.class_of_subclass b.Bug.subclass = Taxonomy.Data_mis_access)
+          all));
+  check_int "4 communication" 4
+    (List.length
+       (List.filter
+          (fun (b : Bug.t) ->
+            Taxonomy.class_of_subclass b.Bug.subclass = Taxonomy.Communication)
+          all));
+  check_int "3 semantic" 3
+    (List.length
+       (List.filter
+          (fun (b : Bug.t) ->
+            Taxonomy.class_of_subclass b.Bug.subclass = Taxonomy.Semantic)
+          all));
+  (* ids match the study database's testbed annotations *)
+  List.iter
+    (fun (b : Bug.t) ->
+      check_bool
+        (Printf.sprintf "%s appears in the study database" b.Bug.id)
+        true
+        (Fpga_study.Bug_db.find_by_testbed_id b.Bug.id <> None))
+    all;
+  (* SignalCat is helpful for every bug (section 6.3) *)
+  List.iter
+    (fun (b : Bug.t) ->
+      check_bool (b.Bug.id ^ " uses SignalCat") true
+        (List.mem Bug.SC b.Bug.helpful_tools))
+    all;
+  (* each monitor helps at least four bugs *)
+  List.iter
+    (fun tool ->
+      let n =
+        List.length
+          (List.filter (fun (b : Bug.t) -> List.mem tool b.Bug.helpful_tools) all)
+      in
+      check_bool
+        (Printf.sprintf "%s helps >= 4 bugs (got %d)" (Bug.tool_name tool) n)
+        true (n >= 4))
+    [ Bug.FSM; Bug.Stat; Bug.Dep ]
+
+(* --- LossCheck over the loss bugs (section 6.3) ----------------------- *)
+
+let losscheck_tests =
+  List.map
+    (fun (bug : Bug.t) ->
+      Alcotest.test_case (bug.Bug.id ^ " losscheck") `Quick (fun () ->
+          let design = Bug.design_of bug ~buggy:true in
+          let spec = Option.get bug.Bug.loss_spec in
+          let r =
+            Fpga_debug.Losscheck.localize ~ground_truth:bug.Bug.ground_truth
+              ~max_cycles:bug.Bug.max_cycles ~top:bug.Bug.top ~spec
+              ~stimulus:bug.Bug.stimulus design
+          in
+          (match bug.Bug.loss_root with
+          | Some root ->
+              check_bool
+                (Printf.sprintf "%s localized to %s" bug.Bug.id root)
+                true
+                (List.mem root r.Fpga_debug.Losscheck.reported)
+          | None ->
+              (* D11: the paper's false negative - filtering suppresses
+                 the alarm *)
+              check_bool (bug.Bug.id ^ " reports nothing (false negative)")
+                true
+                (r.Fpga_debug.Losscheck.reported = []);
+              check_bool (bug.Bug.id ^ " alarm was filtered") true
+                (r.Fpga_debug.Losscheck.suppressed <> []));
+          check_bool "losscheck generated code" true
+            (r.Fpga_debug.Losscheck.generated_loc > 0)))
+    Registry.loss_bugs
+
+let test_losscheck_d1_false_positive () =
+  (* D1 keeps exactly one false positive after filtering (section 6.3) *)
+  let bug = App_rsd.bug in
+  let design = Bug.design_of bug ~buggy:true in
+  let spec = Option.get bug.Bug.loss_spec in
+  let r =
+    Fpga_debug.Losscheck.localize ~ground_truth:bug.Bug.ground_truth
+      ~max_cycles:bug.Bug.max_cycles ~top:bug.Bug.top ~spec
+      ~stimulus:bug.Bug.stimulus design
+  in
+  Alcotest.(check (list string))
+    "true root + one false positive" [ "codeword"; "in_reg" ]
+    (List.sort String.compare r.Fpga_debug.Losscheck.reported)
+
+let test_losscheck_summary () =
+  (* 6 of 7 loss bugs localize, as in section 6.3 *)
+  let localized =
+    List.filter (fun (b : Bug.t) -> b.Bug.loss_root <> None) Registry.loss_bugs
+  in
+  check_int "7 loss bugs evaluated" 7 (List.length Registry.loss_bugs);
+  check_int "6 localized" 6 (List.length localized)
+
+(* --- FSM detection accuracy (section 4.2) ----------------------------- *)
+
+let test_fsm_accuracy () =
+  let detected_total = ref 0 in
+  let manual_total = ref 0 in
+  let false_positives = ref [] in
+  let false_negatives = ref [] in
+  List.iter
+    (fun (bug : Bug.t) ->
+      let design = Bug.design_of bug ~buggy:true in
+      let m = Option.get (Fpga_hdl.Ast.find_module design bug.Bug.top) in
+      let detected =
+        List.map
+          (fun f -> f.Fpga_analysis.Fsm_detect.state_var)
+          (Fpga_analysis.Fsm_detect.detect m)
+      in
+      detected_total := !detected_total + List.length detected;
+      manual_total := !manual_total + List.length bug.Bug.manual_fsms;
+      List.iter
+        (fun v ->
+          if not (List.mem v bug.Bug.manual_fsms) then
+            false_positives := (bug.Bug.id, v) :: !false_positives)
+        detected;
+      List.iter
+        (fun v ->
+          if not (List.mem v detected) then
+            false_negatives := (bug.Bug.id, v) :: !false_negatives)
+        bug.Bug.manual_fsms)
+    all;
+  check_int "no false positives" 0 (List.length !false_positives);
+  check_int "two deliberate false negatives" 2 (List.length !false_negatives);
+  check_int "manual census" 17 !manual_total;
+  check_int "detected census" 15 !detected_total
+
+(* --- FSM Monitor finds the stuck state (grayscale case study) --------- *)
+
+let test_fsm_monitor_case_study () =
+  let bug = App_grayscale.bug in
+  let design = Bug.design_of bug ~buggy:true in
+  let m = Option.get (Fpga_hdl.Ast.find_module design bug.Bug.top) in
+  let plan = Fpga_debug.Fsm_monitor.plan m in
+  let instrumented = Fpga_debug.Fsm_monitor.instrument plan m in
+  let design' = { Fpga_hdl.Ast.modules = [ instrumented ] } in
+  let report = Bug.run_design bug design' in
+  let finals = Fpga_debug.Fsm_monitor.final_states plan report.Bug.log in
+  (* the read FSM finished, the write FSM is stuck mid-transfer *)
+  Alcotest.(check (option string))
+    "read FSM reached RD_FINISH" (Some "RD_FINISH")
+    (List.assoc_opt "rd_state" finals);
+  Alcotest.(check (option string))
+    "write FSM stuck in WR_DATA" (Some "WR_DATA")
+    (List.assoc_opt "wr_state" finals)
+
+(* --- Statistics Monitor flags the loss bugs --------------------------- *)
+
+let stat_anomaly_bugs = [ "D2"; "D4"; "D11"; "C2"; "C4" ]
+
+let stat_tests =
+  List.map
+    (fun id ->
+      Alcotest.test_case (id ^ " statistics anomaly") `Quick (fun () ->
+          let bug = Option.get (Registry.find id) in
+          let design = Bug.design_of bug ~buggy:true in
+          let m = Option.get (Fpga_hdl.Ast.find_module design bug.Bug.top) in
+          let events =
+            List.map
+              (fun (name, signal) ->
+                {
+                  Fpga_debug.Stat_monitor.event_name = name;
+                  trigger = Fpga_hdl.Ast.Ident signal;
+                })
+              bug.Bug.stat_events
+          in
+          let plan = Fpga_debug.Stat_monitor.plan m events in
+          let instrumented = Fpga_debug.Stat_monitor.instrument plan m in
+          let design' = { Fpga_hdl.Ast.modules = [ instrumented ] } in
+          let sim = Fpga_sim.Testbench.of_design ~top:bug.Bug.top design' in
+          let _ =
+            Fpga_sim.Testbench.run ~max_cycles:bug.Bug.max_cycles sim
+              bug.Bug.stimulus
+          in
+          let counts = Fpga_debug.Stat_monitor.counts plan sim in
+          (* total produced across input events vs. the output event *)
+          let consumer =
+            fst (List.nth bug.Bug.stat_events (List.length bug.Bug.stat_events - 1))
+          in
+          let produced =
+            List.fold_left
+              (fun acc (name, n) -> if name = consumer then acc else acc + n)
+              0 counts
+          in
+          let consumed = List.assoc consumer counts in
+          check_bool
+            (Printf.sprintf "produced %d > consumed %d" produced consumed)
+            true (produced > consumed)))
+    stat_anomaly_bugs
+
+(* --- Dependency Monitor: the chain reaches the buggy logic ------------ *)
+
+let dep_tests =
+  List.filter_map
+    (fun (bug : Bug.t) ->
+      match bug.Bug.dep_target with
+      | Some target when List.mem Bug.Dep bug.Bug.helpful_tools ->
+          Some
+            (Alcotest.test_case (bug.Bug.id ^ " dependency chain") `Quick
+               (fun () ->
+                 let design = Bug.design_of bug ~buggy:true in
+                 let m =
+                   Option.get (Fpga_hdl.Ast.find_module design bug.Bug.top)
+                 in
+                 let plan =
+                   Fpga_debug.Dep_monitor.analyze ~design ~target ~cycles:8 m
+                 in
+                 let changed = Bug.changed_signals bug in
+                 Alcotest.(check bool)
+                   (Printf.sprintf
+                      "chain of %s contains a signal the fix touches (%s)"
+                      target
+                      (String.concat "," changed))
+                   true
+                   (List.exists
+                      (fun c -> List.mem c plan.Fpga_debug.Dep_monitor.chain)
+                      changed)))
+      | _ -> None)
+    all
+
+(* --- Deadlock: the circular control dependency is found --------------- *)
+
+let test_deadlock_cycle () =
+  let bug = App_sdspi.c1 in
+  let design = Bug.design_of bug ~buggy:true in
+  let m = Option.get (Fpga_hdl.Ast.find_module design bug.Bug.top) in
+  let g = Fpga_analysis.Deps.of_module m in
+  let cycles = Fpga_analysis.Deps.control_cycles g in
+  check_bool "a circular control dependency exists" true (cycles <> []);
+  check_bool "cmd_active and data_idle are in a cycle" true
+    (List.exists
+       (fun c -> List.mem "cmd_active" c && List.mem "data_idle" c)
+       cycles)
+
+(* --- SignalCat unification across the testbed ------------------------- *)
+
+let signalcat_tests =
+  (* instrument each buggy design with FSM-monitor displays and check
+     that simulation and on-FPGA logs agree *)
+  List.filter_map
+    (fun (bug : Bug.t) ->
+      if bug.Bug.manual_fsms = [] then None
+      else
+        Some
+          (Alcotest.test_case (bug.Bug.id ^ " signalcat unification") `Quick
+             (fun () ->
+               let design = Bug.design_of bug ~buggy:true in
+               let m =
+                 Option.get (Fpga_hdl.Ast.find_module design bug.Bug.top)
+               in
+               let plan = Fpga_debug.Fsm_monitor.plan m in
+               let instrumented = Fpga_debug.Fsm_monitor.instrument plan m in
+               let design' =
+                 {
+                   Fpga_hdl.Ast.modules =
+                     List.map
+                       (fun x -> if x == m then instrumented else x)
+                       design.Fpga_hdl.Ast.modules;
+                 }
+               in
+               let log mode =
+                 Fpga_debug.Signalcat.run_and_log ~buffer_depth:1024
+                   ~max_cycles:bug.Bug.max_cycles ~mode ~top:bug.Bug.top
+                   design' bug.Bug.stimulus
+               in
+               let sim_log = log Fpga_debug.Signalcat.Simulation in
+               let fpga_log = log Fpga_debug.Signalcat.On_fpga in
+               Alcotest.(check (list (pair int string)))
+                 "simulation and on-FPGA logs agree" sim_log fpga_log)))
+    all
+
+let suite =
+  reproduction_tests @ fixed_clean_tests
+  @ [
+      Alcotest.test_case "registry shape" `Quick test_registry_shape;
+      Alcotest.test_case "losscheck D1 false positive" `Quick
+        test_losscheck_d1_false_positive;
+      Alcotest.test_case "losscheck summary" `Quick test_losscheck_summary;
+      Alcotest.test_case "fsm detection accuracy" `Quick test_fsm_accuracy;
+      Alcotest.test_case "fsm monitor case study" `Quick
+        test_fsm_monitor_case_study;
+      Alcotest.test_case "deadlock control cycle" `Quick test_deadlock_cycle;
+    ]
+  @ losscheck_tests @ stat_tests @ dep_tests @ signalcat_tests
+
+(* --- extended testbed (beyond Table 2) --------------------------------- *)
+
+let extended_tests =
+  List.map
+    (fun (bug : Bug.t) ->
+      Alcotest.test_case (bug.Bug.id ^ " (extended) reproduces") `Quick
+        (fun () ->
+          let observed = Bug.observed_symptoms bug in
+          List.iter
+            (fun s ->
+              check_bool
+                (Printf.sprintf "%s shows %s" bug.Bug.id
+                   (Taxonomy.symptom_name s))
+                true (List.mem s observed))
+            bug.Bug.symptoms;
+          let fixed = Bug.run bug ~buggy:false in
+          check_bool "fixed not stuck" false fixed.Bug.stuck))
+    Registry.extended
+
+let test_subclass_coverage () =
+  (* with the extended set, every subclass of the taxonomy has at least
+     one push-button reproduction *)
+  let covered =
+    List.map (fun (b : Bug.t) -> b.Bug.subclass) Registry.all_with_extended
+  in
+  List.iter
+    (fun sc ->
+      check_bool
+        (Taxonomy.subclass_name sc ^ " covered")
+        true (List.mem sc covered))
+    Taxonomy.all_subclasses
+
+let suite =
+  suite @ extended_tests
+  @ [ Alcotest.test_case "all subclasses covered" `Quick test_subclass_coverage ]
+
+(* --- instrumentation is non-invasive ------------------------------------ *)
+
+(* The full debug recipe (monitors + recording logic) must not change
+   the design's observable behaviour: the instrumented buggy design
+   produces exactly the rows the bare buggy design does. *)
+let noninvasive_tests =
+  List.map
+    (fun id ->
+      Alcotest.test_case (id ^ " instrumentation non-invasive") `Quick
+        (fun () ->
+          let bug = Option.get (Registry.find id) in
+          let bare = Bug.run bug ~buggy:true in
+          let r = Fpga_testbed.Recipe.apply ~buffer_depth:1024 bug in
+          let design = Bug.design_of bug ~buggy:true in
+          let design' =
+            {
+              Fpga_hdl.Ast.modules =
+                List.map
+                  (fun m ->
+                    if m.Fpga_hdl.Ast.mod_name = bug.Bug.top then
+                      r.Fpga_testbed.Recipe.on_fpga
+                    else m)
+                  design.Fpga_hdl.Ast.modules;
+            }
+          in
+          let instrumented = Bug.run_design bug design' in
+          Alcotest.(check bool)
+            "same stuck verdict" bare.Bug.stuck instrumented.Bug.stuck;
+          Alcotest.(check bool)
+            "same output rows" true
+            (List.map snd bare.Bug.rows = List.map snd instrumented.Bug.rows)))
+    [ "D1"; "D2"; "D4"; "D9"; "C1"; "C4"; "S3" ]
+
+(* --- every testbed source parses, prints, and reparses ------------------- *)
+
+let roundtrip_tests =
+  List.map
+    (fun (bug : Bug.t) ->
+      Alcotest.test_case (bug.Bug.id ^ " source roundtrip") `Quick (fun () ->
+          List.iter
+            (fun src ->
+              let d1 = Fpga_hdl.Parser.parse_design src in
+              let printed = Fpga_hdl.Pp_verilog.design_to_string d1 in
+              let d2 = Fpga_hdl.Parser.parse_design printed in
+              Alcotest.(check bool)
+                (bug.Bug.id ^ " print/parse stable") true (d1 = d2))
+            [ bug.Bug.buggy_src; bug.Bug.fixed_src ]))
+    Registry.all_with_extended
+
+(* --- elaboration error reporting ----------------------------------------- *)
+
+let test_elaboration_errors () =
+  let elaborates src top =
+    match
+      Fpga_sim.Elaborate.elaborate (Fpga_hdl.Parser.parse_design src) ~top
+    with
+    | exception Fpga_sim.Elaborate.Elaboration_error _ -> false
+    | _ -> true
+  in
+  check_bool "unknown top rejected" false
+    (elaborates "module m (input a); endmodule" "ghost");
+  check_bool "unknown child module rejected" false
+    (elaborates
+       "module top (input clk); mystery u0 (.x(clk)); endmodule" "top");
+  check_bool "unknown parameter override rejected" false
+    (elaborates
+       {|
+module child #(parameter N = 1) (input clk);
+endmodule
+module top (input clk);
+  child #(.GHOST(3)) u0 (.clk(clk));
+endmodule
+|}
+       "top");
+  check_bool "unknown port rejected" false
+    (elaborates
+       {|
+module child (input clk);
+endmodule
+module top (input clk);
+  child u0 (.nonexistent(clk));
+endmodule
+|}
+       "top")
+
+let suite =
+  suite @ noninvasive_tests @ roundtrip_tests
+  @ [ Alcotest.test_case "elaboration errors" `Quick test_elaboration_errors ]
+
+(* --- Dependency Monitor over the extended bugs --------------------------- *)
+
+let extended_dep_tests =
+  List.filter_map
+    (fun (bug : Bug.t) ->
+      match bug.Bug.dep_target with
+      | Some target when List.mem Bug.Dep bug.Bug.helpful_tools ->
+          Some
+            (Alcotest.test_case
+               (bug.Bug.id ^ " (extended) dependency chain")
+               `Quick
+               (fun () ->
+                 let design = Bug.design_of bug ~buggy:true in
+                 let m =
+                   Option.get (Fpga_hdl.Ast.find_module design bug.Bug.top)
+                 in
+                 let plan =
+                   Fpga_debug.Dep_monitor.analyze ~design ~target ~cycles:8 m
+                 in
+                 let changed = Bug.changed_signals bug in
+                 Alcotest.(check bool)
+                   (Printf.sprintf "chain reaches the fix (%s)"
+                      (String.concat "," changed))
+                   true
+                   (List.exists
+                      (fun c -> List.mem c plan.Fpga_debug.Dep_monitor.chain)
+                      changed)))
+      | _ -> None)
+    Registry.extended
+
+let suite = suite @ extended_dep_tests
