@@ -61,6 +61,8 @@ let set_bit t i b =
   if i < 0 || i >= t.width then
     invalid_arg
       (Printf.sprintf "Bits.set_bit: index %d out of [0,%d)" i t.width);
+  if bit t i = b then t
+  else
   let limbs = Array.copy t.limbs in
   let j = i / limb_bits and k = i mod limb_bits in
   if b then limbs.(j) <- limbs.(j) lor (1 lsl k)
@@ -289,7 +291,10 @@ let compare a b =
   in
   go (Array.length a.limbs - 1)
 
-let equal a b = a.width = b.width && a.limbs = b.limbs
+(* Physical equality short-circuits the limb comparison: the functional
+   update operations above return the argument unchanged when the update
+   is a no-op, so unchanged values are usually compared in O(1). *)
+let equal a b = a == b || (a.width = b.width && a.limbs = b.limbs)
 let equal_value a b = compare a b = 0
 let lt a b = compare a b < 0
 let le a b = compare a b <= 0

@@ -112,7 +112,8 @@ val is_zero : t -> bool
 (** {1 Comparisons (unsigned unless stated)} *)
 
 val equal : t -> t -> bool
-(** Width-sensitive: vectors of different widths are never equal. *)
+(** Width-sensitive: vectors of different widths are never equal.
+    Physically-equal values compare in O(1). *)
 
 val equal_value : t -> t -> bool
 (** Compares numeric values, ignoring width. *)
@@ -130,9 +131,14 @@ val signed_le : t -> t -> bool
 (** {1 Mutation-free update} *)
 
 val set_bit : t -> int -> bool -> t
+(** [set_bit v i b] returns [v] itself (physically equal, no
+    allocation) when bit [i] already holds [b] — the change-detection
+    fast path the event-driven simulator kernel relies on. *)
+
 val set_slice : t -> hi:int -> lo:int -> t -> t
 (** [set_slice v ~hi ~lo x] replaces bits [hi..lo] of [v] with [x]
-    (resized to fit). *)
+    (resized to fit). Returns [v] physically unchanged when the slice
+    already equals [x]. *)
 
 (** {1 Formatting} *)
 

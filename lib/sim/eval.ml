@@ -218,3 +218,37 @@ let apply_write env = function
   | Wdropped _ -> ()
 
 let write env l value = List.iter (apply_write env) (resolve_write env l value)
+
+(* Change-detecting variants: apply a write only when it changes the
+   stored value and report the base signal name through [notify] when it
+   does. The event-driven simulator kernel seeds its dirty set from
+   these notifications; [Bits.equal]'s physical-equality fast path and
+   the no-op-returning functional updates keep the unchanged case
+   allocation-free. *)
+let apply_write_notify env ~notify = function
+  | Wfull (n, v) ->
+      let old = get_vec env n in
+      if not (Bits.equal old v) then (
+        Hashtbl.replace env n (Vec v);
+        notify n)
+  | Wbit (n, i, b) ->
+      let old = get_vec env n in
+      let v = Bits.set_bit old i b in
+      if not (v == old) then (
+        Hashtbl.replace env n (Vec v);
+        notify n)
+  | Wrange (n, hi, lo, v) ->
+      let old = get_vec env n in
+      let v = Bits.set_slice old ~hi ~lo v in
+      if not (Bits.equal v old) then (
+        Hashtbl.replace env n (Vec v);
+        notify n)
+  | Wmem (n, i, v) ->
+      let a = get_mem env n in
+      if not (Bits.equal a.(i) v) then (
+        a.(i) <- v;
+        notify n)
+  | Wdropped _ -> ()
+
+let write_notify env ~notify l value =
+  List.iter (apply_write_notify env ~notify) (resolve_write env l value)

@@ -60,3 +60,17 @@ val apply_write : env -> resolved_write -> unit
 
 val write : env -> Fpga_hdl.Ast.lvalue -> Fpga_bits.Bits.t -> unit
 (** Immediate (blocking) write. *)
+
+(** {1 Change-detecting writes}
+
+    Variants that apply a write only when it changes the stored value,
+    calling [notify] with the base signal name when it does. The
+    event-driven simulator kernel seeds its dirty set from these
+    notifications; unchanged writes are detected in O(1) through
+    {!Fpga_bits.Bits.equal}'s physical-equality fast path. *)
+
+val apply_write_notify : env -> notify:(string -> unit) -> resolved_write -> unit
+
+val write_notify :
+  env -> notify:(string -> unit) -> Fpga_hdl.Ast.lvalue -> Fpga_bits.Bits.t -> unit
+(** Immediate (blocking) write with change notification. *)

@@ -11,13 +11,26 @@
         during this final settle.
 
    Combinational nodes are topologically ordered at construction;
-   combinational cycles raise [Combinational_cycle]. *)
+   combinational cycles raise [Combinational_cycle].
+
+   Settling is event-driven by default: a sensitivity map (signal ->
+   reading nodes) is built at construction, every write is
+   change-detected, and a settle only re-evaluates nodes whose inputs
+   actually changed since they last ran, in topological rank order.
+   Because node evaluation is a pure function of the environment, the
+   event-driven schedule produces exactly the state the brute-force
+   full-plan sweep would; nodes containing $display are forced onto the
+   dirty set during display-enabled settles so logs stay identical too.
+   The [Brute_force] kernel keeps the seed full-sweep behavior as a
+   differential-testing reference. *)
 
 module Ast = Fpga_hdl.Ast
 module Bits = Fpga_bits.Bits
 open Elaborate
 
 exception Combinational_cycle of string list
+
+type kernel = Event_driven | Brute_force
 
 type comb_node = Cassign of Ast.lvalue * Ast.expr | Cblock of Ast.stmt list
 
@@ -38,13 +51,37 @@ type prim_state =
 type t = {
   flat : flat;
   env : Eval.env;
-  comb_plan : comb_node list;
+  kernel : kernel;
+  nodes : comb_node array;  (* topological order: writers before readers *)
+  sens : (string, int list) Hashtbl.t;  (* signal -> ranks of reading nodes *)
+  display_nodes : int list;  (* ranks of nodes containing $display *)
+  dirty : bool array;  (* per-rank pending-re-evaluation flag *)
+  mutable ndirty : int;
+  mutable notify : string -> unit;  (* change callback wired to [mark_signal] *)
   prims : prim_state list;
   mutable cycle : int;
   mutable finished : bool;
   mutable log : (int * string) list;  (* newest first *)
   mutable display_hook : (int -> string -> unit) option;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Dirty-set bookkeeping                                               *)
+(* ------------------------------------------------------------------ *)
+
+let mark_rank sim r =
+  if not sim.dirty.(r) then (
+    sim.dirty.(r) <- true;
+    sim.ndirty <- sim.ndirty + 1)
+
+let mark_signal sim name =
+  match Hashtbl.find_opt sim.sens name with
+  | Some ranks -> List.iter (mark_rank sim) ranks
+  | None -> ()
+
+let mark_all sim =
+  Array.fill sim.dirty 0 (Array.length sim.dirty) true;
+  sim.ndirty <- Array.length sim.dirty
 
 (* ------------------------------------------------------------------ *)
 (* Combinational scheduling                                            *)
@@ -127,13 +164,13 @@ let rec exec_stmt ctx (s : Ast.stmt) =
         (* blocking assignments update immediately, visible to the next
            statement, in both combinational and sequential blocks *)
         let v = Eval.eval_assign ctx.sim.env l e in
-        Eval.write ctx.sim.env l v
+        Eval.write_notify ctx.sim.env ~notify:ctx.sim.notify l v
     | Ast.Nonblocking (l, e) ->
         let v = Eval.eval_assign ctx.sim.env l e in
         if ctx.in_comb_phase then
           (* non-blocking inside a combinational block degenerates to a
              blocking update in a two-phase simulator *)
-          Eval.write ctx.sim.env l v
+          Eval.write_notify ctx.sim.env ~notify:ctx.sim.notify l v
         else
           ctx.pending <-
             List.rev_append (Eval.resolve_write ctx.sim.env l v) ctx.pending
@@ -193,15 +230,21 @@ let prim_input env (p : fprim) name =
 
 let prim_input_bool env p name = Bits.reduce_or (prim_input env p name)
 
-(* Drive a primitive output signal if it is connected. *)
-let drive env (p : fprim) formal value =
+(* Drive a primitive output signal if it is connected; change-detected
+   so a quiescent primitive does not wake its combinational readers. *)
+let drive sim (p : fprim) formal value =
   match List.assoc_opt formal p.fp_outputs with
   | None -> ()
   | Some sig_name -> (
-      match Hashtbl.find_opt env sig_name with
+      match Hashtbl.find_opt sim.env sig_name with
       | Some (Eval.Vec old) ->
-          Hashtbl.replace env sig_name (Eval.Vec (Bits.resize value (Bits.width old)))
-      | _ -> Hashtbl.replace env sig_name (Eval.Vec value))
+          let value = Bits.resize value (Bits.width old) in
+          if not (Bits.equal old value) then (
+            Hashtbl.replace sim.env sig_name (Eval.Vec value);
+            sim.notify sig_name)
+      | _ ->
+          Hashtbl.replace sim.env sig_name (Eval.Vec value);
+          sim.notify sig_name)
 
 let fifo_port_names kind =
   match kind with
@@ -209,16 +252,16 @@ let fifo_port_names kind =
   | Dcfifo -> ("wrreq", "rdreq", "data", "q", "wrfull", "rdempty", "wrusedw")
   | Altsyncram -> assert false
 
-let drive_fifo_outputs env (p : fprim) (f : fifo_state) =
+let drive_fifo_outputs sim (p : fprim) (f : fifo_state) =
   let _, _, _, q, full, empty, usedw = fifo_port_names p.fp_kind in
   let front =
     if f.f_count > 0 then f.f_data.(f.f_head) else Bits.zero f.f_width
   in
-  drive env p q front;
-  drive env p full (Bits.of_bool (f.f_count >= f.f_depth));
-  drive env p empty (Bits.of_bool (f.f_count = 0));
+  drive sim p q front;
+  drive sim p full (Bits.of_bool (f.f_count >= f.f_depth));
+  drive sim p empty (Bits.of_bool (f.f_count = 0));
   (* [drive] resizes to the connected signal's declared width *)
-  drive env p usedw (Bits.of_int ~width:16 f.f_count)
+  drive sim p usedw (Bits.of_int ~width:16 f.f_count)
 
 let step_prim env (ps : prim_state) =
   match ps with
@@ -246,16 +289,28 @@ let step_prim env (ps : prim_state) =
       if wren then
         r.r_words.(k) <- Bits.resize data (Bits.width r.r_words.(k))
 
-let drive_prim_outputs env ps =
+let drive_prim_outputs sim ps =
   match ps with
-  | Pfifo (p, f) -> drive_fifo_outputs env p f
-  | Pram (p, r) -> drive env p "q_a" r.r_q
+  | Pfifo (p, f) -> drive_fifo_outputs sim p f
+  | Pram (p, r) -> drive sim p "q_a" r.r_q
 
 (* ------------------------------------------------------------------ *)
 (* Construction and stepping                                           *)
 (* ------------------------------------------------------------------ *)
 
-let create (flat : flat) : t =
+let rec stmt_has_display (s : Ast.stmt) =
+  match s with
+  | Ast.Display _ -> true
+  | Ast.If (_, t, f) ->
+      List.exists stmt_has_display t || List.exists stmt_has_display f
+  | Ast.Case (_, items, default) ->
+      List.exists (fun it -> List.exists stmt_has_display it.Ast.body) items
+      || (match default with
+         | Some body -> List.exists stmt_has_display body
+         | None -> false)
+  | Ast.Blocking _ | Ast.Nonblocking _ | Ast.Finish -> false
+
+let create ?(kernel = Event_driven) (flat : flat) : t =
   let env : Eval.env = Hashtbl.create 64 in
   Hashtbl.iter
     (fun name (s : fsignal) ->
@@ -272,45 +327,93 @@ let create (flat : flat) : t =
       in
       Hashtbl.replace env name v)
     flat.f_signals;
-  let nodes =
+  let node_list =
     List.map (fun (l, e) -> Cassign (l, e)) flat.f_assigns
     @ List.map (fun b -> Cblock b) flat.f_comb
   in
-  let comb_plan = topo_sort nodes in
+  let nodes = Array.of_list (topo_sort node_list) in
+  let n = Array.length nodes in
+  (* sensitivity map: every signal a node reads wakes that node *)
+  let sens = Hashtbl.create (max 16 n) in
+  Array.iteri
+    (fun rank node ->
+      List.iter
+        (fun s ->
+          let prev = Option.value (Hashtbl.find_opt sens s) ~default:[] in
+          Hashtbl.replace sens s (rank :: prev))
+        (node_reads node))
+    nodes;
+  let display_nodes =
+    Array.to_list
+      (Array.mapi
+         (fun rank node ->
+           match node with
+           | Cblock stmts when List.exists stmt_has_display stmts -> Some rank
+           | _ -> None)
+         nodes)
+    |> List.filter_map Fun.id
+  in
   let prims = List.map make_prim_state flat.f_prims in
   let sim =
-    { flat; env; comb_plan; prims; cycle = 0; finished = false; log = [];
-      display_hook = None }
+    { flat; env; kernel; nodes; sens; display_nodes;
+      dirty = Array.make n true; ndirty = n; notify = ignore; prims;
+      cycle = 0; finished = false; log = []; display_hook = None }
   in
-  (* initial primitive outputs + settle so outputs are consistent *)
-  List.iter (drive_prim_outputs env) prims;
+  (match kernel with
+  | Event_driven -> sim.notify <- mark_signal sim
+  | Brute_force -> ());
+  (* initial primitive outputs so the first settle sees them; every node
+     starts dirty, so the first settle evaluates the full plan *)
+  List.iter (drive_prim_outputs sim) prims;
   sim
+
+let exec_node ctx node =
+  match node with
+  | Cassign (l, e) ->
+      let v = Eval.eval_assign ctx.sim.env l e in
+      Eval.write_notify ctx.sim.env ~notify:ctx.sim.notify l v
+  | Cblock stmts -> List.iter (exec_stmt ctx) stmts
 
 let settle ?(displays = false) (sim : t) =
   let ctx =
     { sim; pending = []; in_comb_phase = true; displays_enabled = displays }
   in
-  List.iter
-    (fun node ->
-      match node with
-      | Cassign (l, e) ->
-          let v = Eval.eval_assign sim.env l e in
-          Eval.write sim.env l v
-      | Cblock stmts -> List.iter (exec_stmt ctx) stmts)
-    sim.comb_plan
+  match sim.kernel with
+  | Brute_force -> Array.iter (exec_node ctx) sim.nodes
+  | Event_driven ->
+      (* a $display must fire on every display-enabled settle its block
+         is reached, exactly as in the full sweep, even when no input
+         changed - force those nodes onto the dirty set *)
+      if displays then List.iter (mark_rank sim) sim.display_nodes;
+      if sim.ndirty > 0 then
+        (* rank order = topological order, so every producer runs before
+           its consumers; a node marking an earlier-or-equal rank (a
+           self-dependency the cycle check admits) stays dirty for the
+           next settle, matching the once-per-sweep full plan *)
+        for r = 0 to Array.length sim.nodes - 1 do
+          if sim.dirty.(r) then (
+            sim.dirty.(r) <- false;
+            sim.ndirty <- sim.ndirty - 1;
+            exec_node ctx sim.nodes.(r))
+        done
 
 let set_input sim name value =
   match Hashtbl.find_opt sim.env name with
   | Some (Eval.Vec old) ->
-      Hashtbl.replace sim.env name (Eval.Vec (Bits.resize value (Bits.width old)))
+      let value = Bits.resize value (Bits.width old) in
+      if not (Bits.equal old value) then (
+        Hashtbl.replace sim.env name (Eval.Vec value);
+        sim.notify name)
   | Some (Eval.Mem _) -> invalid_arg "Simulator.set_input: memory"
   | None -> invalid_arg (Printf.sprintf "Simulator.set_input: unknown %s" name)
 
 let set_input_int sim name v =
   match Hashtbl.find_opt sim.env name with
   | Some (Eval.Vec old) ->
-      Hashtbl.replace sim.env name
-        (Eval.Vec (Bits.of_int ~width:(Bits.width old) v))
+      let value = Bits.of_int ~width:(Bits.width old) v in
+      if not (Bits.equal old value) then (
+        Hashtbl.replace sim.env name (Eval.Vec value);
+        sim.notify name)
   | _ -> invalid_arg (Printf.sprintf "Simulator.set_input_int: unknown %s" name)
 
 let read sim name =
@@ -338,8 +441,10 @@ let edge_phase (sim : t) (edge : Elaborate.clock_edge) ~with_prims =
       if e = edge then List.iter (exec_stmt ctx) body)
     sim.flat.f_seq;
   if with_prims then List.iter (step_prim sim.env) sim.prims;
-  List.iter (Eval.apply_write sim.env) (List.rev ctx.pending);
-  if with_prims then List.iter (drive_prim_outputs sim.env) sim.prims
+  List.iter
+    (Eval.apply_write_notify sim.env ~notify:sim.notify)
+    (List.rev ctx.pending);
+  if with_prims then List.iter (drive_prim_outputs sim) sim.prims
 
 let has_negedge (sim : t) =
   List.exists (fun (e, _, _) -> e = Elaborate.Neg) sim.flat.f_seq
@@ -445,4 +550,6 @@ let restore (sim : t) (cp : checkpoint) : unit =
     sim.prims;
   sim.cycle <- cp.cp_cycle;
   sim.finished <- cp.cp_finished;
-  sim.log <- cp.cp_log
+  sim.log <- cp.cp_log;
+  (* the whole environment may have changed: re-evaluate everything *)
+  mark_all sim

@@ -12,17 +12,34 @@
 
     The simulator assumes a single clock domain: every sequential block
     fires on every [step], which matches the single-clock subset the
-    testbed uses (dcfifo instances have both clocks tied). *)
+    testbed uses (dcfifo instances have both clocks tied).
+
+    Combinational settling is {e event-driven} by default: a
+    sensitivity map (signal -> reading nodes) is built at construction,
+    every write is change-detected, and each settle re-evaluates only
+    the nodes whose inputs actually changed, in topological rank order.
+    This preserves the exact cycle-level semantics of the full sweep
+    (including the once-per-final-settle firing of combinational
+    [$display] statements) while skipping quiescent logic entirely. *)
 
 exception Combinational_cycle of string list
 (** Raised at construction when continuous assignments / combinational
     blocks form a dependency cycle; carries the signals involved. *)
 
+type kernel =
+  | Event_driven
+      (** dirty-set scheduling over the sensitivity map (default) *)
+  | Brute_force
+      (** re-evaluate the full topological plan on every settle — the
+          seed behavior, kept as a differential-testing reference *)
+
 type t
 
-val create : Elaborate.flat -> t
+val create : ?kernel:kernel -> Elaborate.flat -> t
 (** Build a simulator with all registers at their declared initial
-    values (zero by default) and primitive outputs settled. *)
+    values (zero by default) and primitive outputs settled. [kernel]
+    defaults to {!Event_driven}; both kernels produce byte-identical
+    traces. *)
 
 val step : t -> unit
 (** Advance one clock cycle. No-op once the design executed [$finish]. *)

@@ -42,7 +42,8 @@ let run ?(max_cycles = 10_000) ?until (sim : Simulator.t) (stimulus : stimulus)
     log = Simulator.log sim;
   }
 
-let of_design ?(top = "top") design =
-  Simulator.create (Elaborate.elaborate design ~top)
+let of_design ?kernel ?(top = "top") design =
+  Simulator.create ?kernel (Elaborate.elaborate design ~top)
 
-let of_source ?(top = "top") src = of_design ~top (Fpga_hdl.Parser.parse_design src)
+let of_source ?kernel ?(top = "top") src =
+  of_design ?kernel ~top (Fpga_hdl.Parser.parse_design src)

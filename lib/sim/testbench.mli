@@ -27,8 +27,10 @@ val run :
     An unmet [until] is reported as [stuck] — the "application stuck"
     symptom of the bug study. *)
 
-val of_design : ?top:string -> Fpga_hdl.Ast.design -> Simulator.t
-(** Elaborate (default top ["top"]) and build a simulator. *)
+val of_design :
+  ?kernel:Simulator.kernel -> ?top:string -> Fpga_hdl.Ast.design -> Simulator.t
+(** Elaborate (default top ["top"]) and build a simulator. [kernel]
+    defaults to the event-driven one (see {!Simulator.create}). *)
 
-val of_source : ?top:string -> string -> Simulator.t
+val of_source : ?kernel:Simulator.kernel -> ?top:string -> string -> Simulator.t
 (** Parse Verilog source, elaborate, and build a simulator. *)
