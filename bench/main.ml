@@ -111,6 +111,68 @@ let sim_cycles_per_sec ~kernel flat stim =
   done;
   float_of_int !total_cycles /. !elapsed
 
+(* Word-level Bits micro-benchmarks: the hot ops the limb-wise rewrite
+   targets, at widths straddling the 32-bit limb boundary. *)
+type bits_bench = { bb_op : string; bb_width : int; bb_ops_per_sec : float }
+
+let ops_per_sec op =
+  let iters = 1000 in
+  runs_per_sec (fun () ->
+      for _ = 1 to iters do
+        ignore (Sys.opaque_identity (op ()))
+      done)
+  *. float_of_int iters
+
+let bits_benches () =
+  let widths = [ 8; 32; 64; 128 ] in
+  List.concat_map
+    (fun w ->
+      let pattern = Bits.of_int ~width:32 0xDEADBEEF in
+      let a = Bits.resize (Bits.repeat ((w + 31) / 32) pattern) w in
+      let b = Bits.lognot a in
+      let k = (w / 3) + 1 in
+      let hi = w - 1 - (w / 4) and lo = w / 4 in
+      let cases =
+        [
+          ("shift_left", fun () -> Bits.shift_left a k);
+          ("shift_right", fun () -> Bits.shift_right a k);
+          ("slice", fun () -> Bits.slice a ~hi ~lo);
+          ("concat", fun () -> Bits.concat [ a; b; a ]);
+          ("mul", fun () -> Bits.mul a b);
+        ]
+      in
+      List.map
+        (fun (name, op) ->
+          { bb_op = name; bb_width = w; bb_ops_per_sec = ops_per_sec op })
+        cases)
+    widths
+
+(* Signal-lookup micro-benchmark: a string-keyed hashtable environment
+   (the seed's evaluator) against the interned id-indexed array the
+   compiled evaluator uses, over a real design's signal set. *)
+type lookup_bench = { lb_hashtbl_per_sec : float; lb_array_per_sec : float }
+
+let signal_lookup_bench () =
+  let bug = Option.get (Registry.find "D8") in
+  let design = Fpga_hdl.Parser.parse_design bug.Bug.buggy_src in
+  let flat = Fpga_sim.Elaborate.elaborate design ~top:bug.Bug.top in
+  let names = flat.Fpga_sim.Elaborate.f_signal_order in
+  let n = Array.length names in
+  let h = Hashtbl.create (2 * n) in
+  Array.iter (fun nm -> Hashtbl.replace h nm (Bits.zero 8)) names;
+  let arr = Array.make n (Bits.zero 8) in
+  let per_sweep f = ops_per_sec f *. float_of_int n in
+  {
+    lb_hashtbl_per_sec =
+      per_sweep (fun () ->
+          Array.iter (fun nm -> ignore (Sys.opaque_identity (Hashtbl.find h nm))) names);
+    lb_array_per_sec =
+      per_sweep (fun () ->
+          for i = 0 to n - 1 do
+            ignore (Sys.opaque_identity arr.(i))
+          done);
+  }
+
 type bench_result = {
   br_id : string;
   br_top : string;
@@ -137,9 +199,9 @@ let bench_one (d : bench_design) =
       sim_cycles_per_sec ~kernel:Simulator.Brute_force flat d.bd_stim;
   }
 
-let json_of_results results =
+let json_of_results results bits lookup =
   let buf = Buffer.create 2048 in
-  Buffer.add_string buf "{\n  \"schema\": \"fpga-debug-bench/1\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"fpga-debug-bench/2\",\n";
   Buffer.add_string buf "  \"designs\": [\n";
   List.iteri
     (fun i r ->
@@ -153,12 +215,123 @@ let json_of_results results =
            (r.br_event_cps /. r.br_brute_cps)
            (if i = List.length results - 1 then "" else ",")))
     results;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ],\n  \"bits_ops\": [\n";
+  List.iteri
+    (fun i b ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"op\": %S, \"width\": %d, \"ops_per_sec\": %.1f}%s\n"
+           b.bb_op b.bb_width b.bb_ops_per_sec
+           (if i = List.length bits - 1 then "" else ",")))
+    bits;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"signal_lookup\": {\"hashtbl_per_sec\": %.1f, \"array_per_sec\": \
+        %.1f}\n"
+       lookup.lb_hashtbl_per_sec lookup.lb_array_per_sec);
+  Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let run_json_bench path =
+(* --------------------------------------------------------------- *)
+(* Baseline comparison (--baseline)                                 *)
+(* --------------------------------------------------------------- *)
+
+(* Minimal scanner for the bench JSON this harness writes (one entry
+   per line): extracts labelled throughput numbers without a JSON
+   dependency. Labels: design id -> event cycles/sec, "op@width" ->
+   ops/sec, "signal_lookup_array" -> lookups/sec. *)
+let find_sub s pat =
+  let n = String.length s and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = pat then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let field_float line key =
+  match find_sub line (Printf.sprintf "\"%s\": " key) with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      let n = String.length line in
+      while
+        !stop < n
+        && (match line.[!stop] with
+           | '0' .. '9' | '.' | '-' | 'e' | '+' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.sub line start (!stop - start))
+
+let field_string line key =
+  match find_sub line (Printf.sprintf "\"%s\": \"" key) with
+  | None -> None
+  | Some start -> (
+      match String.index_from_opt line start '"' with
+      | Some stop -> Some (String.sub line start (stop - start))
+      | None -> None)
+
+let labelled_metrics_of_file path =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       (match (field_string line "id", field_float line "sim_cycles_per_sec_event") with
+       | Some id, Some v -> entries := (id, v) :: !entries
+       | _ -> ());
+       (match
+          (field_string line "op", field_float line "width", field_float line "ops_per_sec")
+        with
+       | Some op, Some w, Some v ->
+           entries := (Printf.sprintf "%s@%d" op (int_of_float w), v) :: !entries
+       | _ -> ());
+       match field_float line "array_per_sec" with
+       | Some v -> entries := ("signal_lookup_array", v) :: !entries
+       | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
+(* Warn-only regression gate: flag any metric that fell below
+   [tolerance] of the checked-in baseline. Timing noise on shared CI
+   runners makes a hard failure counterproductive, so this never exits
+   non-zero; the warning lines are what reviewers grep for. *)
+let compare_to_baseline ~current ~baseline_path =
+  if not (Sys.file_exists baseline_path) then
+    Printf.printf "baseline %s not found; skipping comparison\n" baseline_path
+  else begin
+    let tolerance = 0.8 in
+    let baseline = labelled_metrics_of_file baseline_path in
+    let warned = ref 0 and checked = ref 0 in
+    List.iter
+      (fun (label, base) ->
+        match List.assoc_opt label current with
+        | None -> ()
+        | Some now ->
+            incr checked;
+            if now < tolerance *. base then (
+              incr warned;
+              Printf.printf
+                "BENCH WARNING: %s regressed: %.1f/s vs baseline %.1f/s (%.0f%%)\n"
+                label now base
+                (100.0 *. now /. base)))
+      baseline;
+    if !warned = 0 then
+      Printf.printf "baseline check: %d metrics within %.0f%% tolerance of %s\n"
+        !checked
+        (100.0 *. (1.0 -. tolerance))
+        baseline_path
+  end
+
+let run_json_bench path baseline =
   let results = List.map bench_one (bench_designs ()) in
-  let json = json_of_results results in
+  let bits = bits_benches () in
+  let lookup = signal_lookup_bench () in
+  let json = json_of_results results bits lookup in
   let oc = open_out path in
   output_string oc json;
   close_out oc;
@@ -171,7 +344,27 @@ let run_json_bench path =
         r.br_brute_cps
         (r.br_event_cps /. r.br_brute_cps))
     results;
-  Printf.printf "\nwrote %s\n" path
+  Printf.printf "\n%-14s %8s %16s\n" "bits op" "width" "ops/s";
+  List.iter
+    (fun b ->
+      Printf.printf "%-14s %8d %16.1f\n" b.bb_op b.bb_width b.bb_ops_per_sec)
+    bits;
+  Printf.printf
+    "\nsignal lookup: hashtbl %.1f/s, interned array %.1f/s (%.1fx)\n"
+    lookup.lb_hashtbl_per_sec lookup.lb_array_per_sec
+    (lookup.lb_array_per_sec /. lookup.lb_hashtbl_per_sec);
+  Printf.printf "\nwrote %s\n" path;
+  match baseline with
+  | None -> ()
+  | Some baseline_path ->
+      let current =
+        List.map (fun r -> (r.br_id, r.br_event_cps)) results
+        @ List.map
+            (fun b -> (Printf.sprintf "%s@%d" b.bb_op b.bb_width, b.bb_ops_per_sec))
+            bits
+        @ [ ("signal_lookup_array", lookup.lb_array_per_sec) ]
+      in
+      compare_to_baseline ~current ~baseline_path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -276,12 +469,21 @@ let microbench () =
         results)
     tests
 
-(* [--json PATH] switches to the machine-readable micro-benchmark;
-   everything else runs the full evaluation harness. *)
+(* [--json PATH] switches to the machine-readable micro-benchmark,
+   optionally diffed against a checked-in [--baseline PATH]; everything
+   else runs the full evaluation harness. *)
 let json_path () =
   let rec go = function
-    | "--json" :: path :: _ -> Some path
-    | "--json" :: [] -> Some "BENCH.json"
+    | "--json" :: path :: _ when path <> "--baseline" -> Some path
+    | "--json" :: _ -> Some "BENCH.json"
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go (Array.to_list Sys.argv)
+
+let baseline_path () =
+  let rec go = function
+    | "--baseline" :: path :: _ -> Some path
     | _ :: rest -> go rest
     | [] -> None
   in
@@ -289,7 +491,7 @@ let json_path () =
 
 let () =
   match json_path () with
-  | Some path -> run_json_bench path
+  | Some path -> run_json_bench path (baseline_path ())
   | None ->
       Report.table1 ();
       Report.table2 ();

@@ -1,7 +1,21 @@
 (* Arbitrary-width bit vectors stored as little-endian arrays of 32-bit
    limbs packed in OCaml ints. The top limb is always normalized (bits
    above [width] are zero), so structural equality of normalized values
-   coincides with numeric equality at equal width. *)
+   coincides with numeric equality at equal width.
+
+   The hot operations (shifts, slice, concat, set_slice, sign extension,
+   multiplication, xor reduction) work limb-at-a-time — O(width/32) with
+   in-place limb writes on freshly allocated results — rather than
+   bit-at-a-time. The original bit-at-a-time implementations are kept in
+   the [Naive] submodule as a differential-testing reference. Two
+   invariants every operation preserves:
+
+   - normalization: bits above [width] in the top limb are zero, so
+     [Array] structural equality is value equality at equal width;
+   - phys-eq no-op returns: the functional updates ([set_bit],
+     [set_slice]) return the argument physically unchanged when the
+     update changes nothing, which is the O(1) change-detection fast
+     path the event-driven simulator kernel relies on. *)
 
 let limb_bits = 32
 let limb_mask = 0xFFFFFFFF
@@ -123,16 +137,62 @@ let resize t w =
     Array.blit t.limbs 0 r.limbs 0 n;
     normalize r
 
+(* ------------------------------------------------------------------ *)
+(* Limb-level helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* OR the low [src_w] bits of [src] into [dst] starting at bit [pos].
+   The destination bits must currently be zero and [pos + src_w] must
+   not exceed the destination's bit capacity. *)
+let blit_bits src src_w dst pos =
+  let off = pos / limb_bits and b = pos mod limb_bits in
+  let n = nlimbs src_w in
+  let dn = Array.length dst in
+  for i = 0 to n - 1 do
+    dst.(off + i) <- dst.(off + i) lor ((src.(i) lsl b) land limb_mask);
+    if b > 0 && off + i + 1 < dn then
+      dst.(off + i + 1) <- dst.(off + i + 1) lor (src.(i) lsr (limb_bits - b))
+  done
+
+(* Set bits [lo..hi] (inclusive) of [limbs] to one, in place. *)
+let set_ones_range limbs lo hi =
+  let jlo = lo / limb_bits and jhi = hi / limb_bits in
+  for j = jlo to jhi do
+    let blo = if j = jlo then lo mod limb_bits else 0 in
+    let bhi = if j = jhi then hi mod limb_bits else limb_bits - 1 in
+    let w = bhi - blo + 1 in
+    let m =
+      if w >= limb_bits then limb_mask else ((1 lsl w) - 1) lsl blo
+    in
+    limbs.(j) <- limbs.(j) lor m
+  done
+
+(* Clear bits [lo..hi] (inclusive) of [limbs], in place. *)
+let clear_range limbs lo hi =
+  let jlo = lo / limb_bits and jhi = hi / limb_bits in
+  for j = jlo to jhi do
+    let blo = if j = jlo then lo mod limb_bits else 0 in
+    let bhi = if j = jhi then hi mod limb_bits else limb_bits - 1 in
+    let w = bhi - blo + 1 in
+    let m =
+      if w >= limb_bits then limb_mask else ((1 lsl w) - 1) lsl blo
+    in
+    limbs.(j) <- limbs.(j) land (lnot m land limb_mask)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Word-level structural operations                                    *)
+(* ------------------------------------------------------------------ *)
+
 let sign_extend t w =
   check_width w;
   if w <= t.width || not (bit t (t.width - 1)) then resize t w
   else (
-    (* copy the low bits of [t] over an all-ones background *)
-    let r = ref (ones w) in
-    for i = 0 to t.width - 1 do
-      r := set_bit !r i (bit t i)
-    done;
-    !r)
+    (* resize allocates a fresh vector here (w > t.width), so the
+       in-place ones-fill of the extension bits is safe *)
+    let r = resize t w in
+    set_ones_range r.limbs t.width (w - 1);
+    normalize r)
 
 let of_binary_string s =
   let digits =
@@ -152,40 +212,52 @@ let of_binary_string s =
 
 let shift_left t k =
   if k < 0 then invalid_arg "Bits.shift_left: negative shift";
-  if k >= t.width then zero t.width
+  if k = 0 then t
+  else if k >= t.width then zero t.width
   else (
     let r = zero t.width in
-    for i = t.width - 1 downto k do
-      if bit t (i - k) then (
-        let j = i / limb_bits and b = i mod limb_bits in
-        r.limbs.(j) <- r.limbs.(j) lor (1 lsl b))
+    let off = k / limb_bits and b = k mod limb_bits in
+    for j = Array.length r.limbs - 1 downto off do
+      let lo = (t.limbs.(j - off) lsl b) land limb_mask in
+      let hi =
+        if b > 0 && j - off - 1 >= 0 then
+          t.limbs.(j - off - 1) lsr (limb_bits - b)
+        else 0
+      in
+      r.limbs.(j) <- lo lor hi
     done;
     normalize r)
 
 let shift_right t k =
   if k < 0 then invalid_arg "Bits.shift_right: negative shift";
-  if k >= t.width then zero t.width
+  if k = 0 then t
+  else if k >= t.width then zero t.width
   else (
     let r = zero t.width in
-    for i = 0 to t.width - 1 - k do
-      if bit t (i + k) then (
-        let j = i / limb_bits and b = i mod limb_bits in
-        r.limbs.(j) <- r.limbs.(j) lor (1 lsl b))
+    let off = k / limb_bits and b = k mod limb_bits in
+    let n = Array.length t.limbs in
+    for j = 0 to n - 1 - off do
+      let lo = t.limbs.(j + off) lsr b in
+      let hi =
+        if b > 0 && j + off + 1 < n then
+          (t.limbs.(j + off + 1) lsl (limb_bits - b)) land limb_mask
+        else 0
+      in
+      r.limbs.(j) <- lo lor hi
     done;
     normalize r)
 
 let arith_shift_right t k =
   if k < 0 then invalid_arg "Bits.arith_shift_right: negative shift";
-  let sign = bit t (t.width - 1) in
-  if not sign then shift_right t k
+  if not (bit t (t.width - 1)) then shift_right t k
+  else if k = 0 then t
   else if k >= t.width then ones t.width
   else (
+    (* shift_right allocates freshly for 0 < k < width, so the in-place
+       sign fill of the vacated top bits is safe *)
     let r = shift_right t k in
-    let r = ref r in
-    for i = t.width - k to t.width - 1 do
-      r := set_bit !r i true
-    done;
-    !r)
+    set_ones_range r.limbs (t.width - k) (t.width - 1);
+    normalize r)
 
 let slice t ~hi ~lo =
   if lo < 0 || hi >= t.width || hi < lo then
@@ -194,10 +266,16 @@ let slice t ~hi ~lo =
          t.width);
   let w = hi - lo + 1 in
   let r = zero w in
-  for i = 0 to w - 1 do
-    if bit t (lo + i) then (
-      let j = i / limb_bits and b = i mod limb_bits in
-      r.limbs.(j) <- r.limbs.(j) lor (1 lsl b))
+  let off = lo / limb_bits and b = lo mod limb_bits in
+  let n = Array.length t.limbs in
+  for j = 0 to Array.length r.limbs - 1 do
+    let lo_part = if j + off < n then t.limbs.(j + off) lsr b else 0 in
+    let hi_part =
+      if b > 0 && j + off + 1 < n then
+        (t.limbs.(j + off + 1) lsl (limb_bits - b)) land limb_mask
+      else 0
+    in
+    r.limbs.(j) <- lo_part lor hi_part
   done;
   normalize r
 
@@ -207,35 +285,38 @@ let concat parts =
   | _ ->
       let w = List.fold_left (fun acc p -> acc + p.width) 0 parts in
       let r = zero w in
-      (* parts are MSB-first; walk from the LSB end *)
+      (* parts are MSB-first; blit from the LSB end *)
       let pos = ref 0 in
       List.iter
         (fun p ->
-          for i = 0 to p.width - 1 do
-            if bit p i then (
-              let abs = !pos + i in
-              let j = abs / limb_bits and b = abs mod limb_bits in
-              r.limbs.(j) <- r.limbs.(j) lor (1 lsl b))
-          done;
+          blit_bits p.limbs p.width r.limbs !pos;
           pos := !pos + p.width)
         (List.rev parts);
       normalize r
 
 let repeat n t =
   if n < 1 then invalid_arg "Bits.repeat: count < 1";
-  concat (List.init n (fun _ -> t))
+  if n = 1 then t
+  else (
+    let r = zero (n * t.width) in
+    for i = 0 to n - 1 do
+      blit_bits t.limbs t.width r.limbs (i * t.width)
+    done;
+    normalize r)
 
 let set_slice t ~hi ~lo x =
   if lo < 0 || hi >= t.width || hi < lo then
     invalid_arg
       (Printf.sprintf "Bits.set_slice: [%d:%d] out of range for width %d" hi
          lo t.width);
-  let x = resize x (hi - lo + 1) in
-  let r = ref t in
-  for i = lo to hi do
-    r := set_bit !r i (bit x (i - lo))
-  done;
-  !r
+  let w = hi - lo + 1 in
+  let x = resize x w in
+  let limbs = Array.copy t.limbs in
+  clear_range limbs lo hi;
+  blit_bits x.limbs w limbs lo;
+  (* phys-eq no-op contract: an update that changes nothing returns the
+     argument itself so change detection stays O(1) *)
+  if limbs = t.limbs then t else normalize { t with limbs }
 
 let require_same_width op a b =
   if a.width <> b.width then
@@ -270,14 +351,36 @@ let sub a b =
 
 let neg a = sub (zero a.width) a
 
+(* Schoolbook multiplication over 16-bit digits: a 32x32 limb product
+   would overflow a 63-bit OCaml int, so limbs are split into half-limb
+   digits whose products (< 2^32) accumulate safely — the widths in
+   this code base (<= 512 bits, 64 digits) stay far below 2^62. *)
 let mul a b =
   require_same_width "mul" a b;
-  (* Shift-and-add; widths in this code base are small (<= 512). *)
-  let acc = ref (zero a.width) in
-  for i = 0 to b.width - 1 do
-    if bit b i then acc := add !acc (shift_left a i)
+  let r = zero a.width in
+  let nr = Array.length r.limbs in
+  let nd = nr * 2 in
+  let digit limbs i = (limbs.(i lsr 1) lsr ((i land 1) * 16)) land 0xFFFF in
+  let acc = Array.make nd 0 in
+  let na = Array.length a.limbs * 2 in
+  let nb = Array.length b.limbs * 2 in
+  for i = 0 to min na nd - 1 do
+    let da = digit a.limbs i in
+    if da <> 0 then
+      for j = 0 to min nb (nd - i) - 1 do
+        acc.(i + j) <- acc.(i + j) + (da * digit b.limbs j)
+      done
   done;
-  !acc
+  let carry = ref 0 in
+  for i = 0 to nd - 1 do
+    let v = acc.(i) + !carry in
+    acc.(i) <- v land 0xFFFF;
+    carry := v lsr 16
+  done;
+  for j = 0 to nr - 1 do
+    r.limbs.(j) <- acc.(2 * j) lor (acc.((2 * j) + 1) lsl 16)
+  done;
+  normalize r
 
 let compare a b =
   (* unsigned numeric comparison across possibly different widths *)
@@ -351,12 +454,13 @@ let lognot a =
 let reduce_and t = equal t (ones t.width)
 let reduce_or t = not (is_zero t)
 
+(* Parity of the whole vector = parity of the xor of all limbs. *)
 let reduce_xor t =
-  let c = ref 0 in
-  for i = 0 to t.width - 1 do
-    if bit t i then incr c
-  done;
-  !c land 1 = 1
+  let v = Array.fold_left ( lxor ) 0 t.limbs in
+  let v = v lxor (v lsr 16) in
+  let v = v lxor (v lsr 8) in
+  let v = v lxor (v lsr 4) in
+  (0x6996 lsr (v land 0xF)) land 1 = 1
 
 let to_binary_string t =
   String.init t.width (fun i -> if bit t (t.width - 1 - i) then '1' else '0')
@@ -405,3 +509,123 @@ let of_decimal_string ~width:w s =
 
 let to_string t = Printf.sprintf "%d'h%s" t.width (to_hex_string t)
 let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Bit-at-a-time reference implementations                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-word-level (seed) implementations, retained verbatim as the
+   oracle for randomized differential testing of the limb-wise rewrites
+   above. Slow by design — never call these from simulator code. *)
+module Naive = struct
+  let shift_left t k =
+    if k < 0 then invalid_arg "Bits.shift_left: negative shift";
+    if k >= t.width then zero t.width
+    else (
+      let r = zero t.width in
+      for i = t.width - 1 downto k do
+        if bit t (i - k) then (
+          let j = i / limb_bits and b = i mod limb_bits in
+          r.limbs.(j) <- r.limbs.(j) lor (1 lsl b))
+      done;
+      normalize r)
+
+  let shift_right t k =
+    if k < 0 then invalid_arg "Bits.shift_right: negative shift";
+    if k >= t.width then zero t.width
+    else (
+      let r = zero t.width in
+      for i = 0 to t.width - 1 - k do
+        if bit t (i + k) then (
+          let j = i / limb_bits and b = i mod limb_bits in
+          r.limbs.(j) <- r.limbs.(j) lor (1 lsl b))
+      done;
+      normalize r)
+
+  let arith_shift_right t k =
+    if k < 0 then invalid_arg "Bits.arith_shift_right: negative shift";
+    let sign = bit t (t.width - 1) in
+    if not sign then shift_right t k
+    else if k >= t.width then ones t.width
+    else (
+      let r = shift_right t k in
+      let r = ref r in
+      for i = t.width - k to t.width - 1 do
+        r := set_bit !r i true
+      done;
+      !r)
+
+  let slice t ~hi ~lo =
+    if lo < 0 || hi >= t.width || hi < lo then
+      invalid_arg
+        (Printf.sprintf "Bits.slice: [%d:%d] out of range for width %d" hi lo
+           t.width);
+    let w = hi - lo + 1 in
+    let r = zero w in
+    for i = 0 to w - 1 do
+      if bit t (lo + i) then (
+        let j = i / limb_bits and b = i mod limb_bits in
+        r.limbs.(j) <- r.limbs.(j) lor (1 lsl b))
+    done;
+    normalize r
+
+  let concat parts =
+    match parts with
+    | [] -> invalid_arg "Bits.concat: empty list"
+    | _ ->
+        let w = List.fold_left (fun acc p -> acc + p.width) 0 parts in
+        let r = zero w in
+        let pos = ref 0 in
+        List.iter
+          (fun p ->
+            for i = 0 to p.width - 1 do
+              if bit p i then (
+                let abs = !pos + i in
+                let j = abs / limb_bits and b = abs mod limb_bits in
+                r.limbs.(j) <- r.limbs.(j) lor (1 lsl b))
+            done;
+            pos := !pos + p.width)
+          (List.rev parts);
+        normalize r
+
+  let repeat n t =
+    if n < 1 then invalid_arg "Bits.repeat: count < 1";
+    concat (List.init n (fun _ -> t))
+
+  let set_slice t ~hi ~lo x =
+    if lo < 0 || hi >= t.width || hi < lo then
+      invalid_arg
+        (Printf.sprintf "Bits.set_slice: [%d:%d] out of range for width %d"
+           hi lo t.width);
+    let x = resize x (hi - lo + 1) in
+    let r = ref t in
+    for i = lo to hi do
+      r := set_bit !r i (bit x (i - lo))
+    done;
+    !r
+
+  let sign_extend t w =
+    check_width w;
+    if w <= t.width || not (bit t (t.width - 1)) then resize t w
+    else (
+      let r = ref (ones w) in
+      for i = 0 to t.width - 1 do
+        r := set_bit !r i (bit t i)
+      done;
+      !r)
+
+  let mul a b =
+    require_same_width "mul" a b;
+    let acc = ref (zero a.width) in
+    for i = 0 to b.width - 1 do
+      if bit b i then acc := add !acc (shift_left a i)
+    done;
+    !acc
+
+  let reduce_xor t =
+    let c = ref 0 in
+    for i = 0 to t.width - 1 do
+      if bit t i then incr c
+    done;
+    !c land 1 = 1
+end

@@ -146,3 +146,23 @@ val pp : Format.formatter -> t -> unit
 (** Prints as [<width>'h<hex>]. *)
 
 val to_string : t -> string
+
+(** {1 Reference implementations}
+
+    Bit-at-a-time implementations of every operation that the main
+    module computes limb-wise, retained as the oracle for randomized
+    differential testing. Semantically identical to their word-level
+    counterparts (including error behaviour) but O(width); never use
+    them on a hot path. *)
+module Naive : sig
+  val shift_left : t -> int -> t
+  val shift_right : t -> int -> t
+  val arith_shift_right : t -> int -> t
+  val slice : t -> hi:int -> lo:int -> t
+  val concat : t list -> t
+  val repeat : int -> t -> t
+  val set_slice : t -> hi:int -> lo:int -> t -> t
+  val sign_extend : t -> int -> t
+  val mul : t -> t -> t
+  val reduce_xor : t -> bool
+end

@@ -50,6 +50,8 @@ type flat = {
   f_prims : fprim list;
   f_inputs : (string * int) list;
   f_outputs : (string * int) list;
+  f_signal_order : string array;  (* dense signal id -> flat name *)
+  f_signal_ids : (string, int) Hashtbl.t;  (* flat name -> dense id *)
 }
 
 let prim_kind_of_target = function
@@ -373,6 +375,16 @@ let elaborate (design : Ast.design) ~top : flat =
         else None)
       top_mod.Ast.ports
   in
+  (* Dense signal interning: every flat signal gets an integer id
+     (sorted by name, so ids are deterministic across runs). The
+     compiled evaluation path indexes its value array with these ids
+     instead of hashing name strings on every expression node. *)
+  let f_signal_order =
+    Hashtbl.fold (fun name _ acc -> name :: acc) ctx.signals []
+    |> List.sort String.compare |> Array.of_list
+  in
+  let f_signal_ids = Hashtbl.create (Array.length f_signal_order) in
+  Array.iteri (fun i name -> Hashtbl.replace f_signal_ids name i) f_signal_order;
   {
     f_top = top;
     f_signals = ctx.signals;
@@ -382,6 +394,8 @@ let elaborate (design : Ast.design) ~top : flat =
     f_prims = List.rev ctx.prims;
     f_inputs = port_list Ast.Input;
     f_outputs = port_list Ast.Output;
+    f_signal_order;
+    f_signal_ids;
   }
 
 let signal flat name =

@@ -48,6 +48,9 @@ type flat = {
   f_prims : fprim list;
   f_inputs : (string * int) list;  (** top ports: name, width *)
   f_outputs : (string * int) list;
+  f_signal_order : string array;
+      (** dense signal id -> flat name, sorted by name (deterministic) *)
+  f_signal_ids : (string, int) Hashtbl.t;  (** flat name -> dense id *)
 }
 
 val elaborate : Fpga_hdl.Ast.design -> top:string -> flat

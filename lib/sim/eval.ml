@@ -177,18 +177,21 @@ let rec resolve_write env (l : Ast.lvalue) (value : Bits.t) :
           (Bits.width b)
       else [ Wrange (n, hi, lo, Bits.resize value (hi - lo + 1)) ]
   | Ast.Lconcat ls ->
-      (* MSB-first: split [value] into per-target chunks. *)
+      (* MSB-first: split [value] into per-target chunks. The write list
+         is accumulated in reverse and flipped once at the end — the
+         seed's [acc @ ...] rebuilt the accumulator per element,
+         quadratic in the number of concatenated targets. *)
       let widths = List.map (lvalue_width env) ls in
       let total = List.fold_left ( + ) 0 widths in
       let value = Bits.resize value total in
-      let _, writes =
+      let _, rev_writes =
         List.fold_left2
           (fun (hi, acc) lv w ->
             let chunk = Bits.slice value ~hi ~lo:(hi - w + 1) in
-            (hi - w, acc @ resolve_write env lv chunk))
+            (hi - w, List.rev_append (resolve_write env lv chunk) acc))
           (total - 1, []) ls widths
       in
-      writes
+      List.rev rev_writes
 
 and lvalue_width env = function
   | Ast.Lident n -> (

@@ -13,7 +13,13 @@
    Combinational nodes are topologically ordered at construction;
    combinational cycles raise [Combinational_cycle].
 
-   Settling is event-driven by default: a sensitivity map (signal ->
+   All executable code is compiled at construction into the interned
+   form of [Compiled]: signal references become dense integer ids into a
+   [value array] and widths are pre-resolved, so the per-cycle hot path
+   performs no string hashing or name resolution. The sensitivity map
+   and the dirty-set notify path run on ids too.
+
+   Settling is event-driven by default: a sensitivity map (signal id ->
    reading nodes) is built at construction, every write is
    change-detected, and a settle only re-evaluates nodes whose inputs
    actually changed since they last ran, in topological rank order.
@@ -32,7 +38,13 @@ exception Combinational_cycle of string list
 
 type kernel = Event_driven | Brute_force
 
-type comb_node = Cassign of Ast.lvalue * Ast.expr | Cblock of Ast.stmt list
+(* AST-level node, used only for dependency analysis (reads/writes are
+   name sets); execution uses the compiled [comb_node] form. *)
+type ast_node = Aassign of Ast.lvalue * Ast.expr | Ablock of Ast.stmt list
+
+type comb_node =
+  | Cassign of Compiled.clvalue * Compiled.cexpr * int  (* ctx width *)
+  | Cblock of Compiled.cstmt list
 
 type fifo_state = {
   f_depth : int;
@@ -44,20 +56,30 @@ type fifo_state = {
 
 type ram_state = { r_words : Bits.t array; mutable r_q : Bits.t }
 
+(* IP instance with compiled port connections: inputs as compiled
+   expressions, outputs as signal ids. *)
+type cprim = {
+  cp_src : fprim;
+  cp_inputs : (string * Compiled.cexpr) list;
+  cp_outputs : (string * int) list;
+}
+
 type prim_state =
-  | Pfifo of fprim * fifo_state
-  | Pram of fprim * ram_state
+  | Pfifo of cprim * fifo_state
+  | Pram of cprim * ram_state
 
 type t = {
   flat : flat;
-  env : Eval.env;
+  tab : Compiled.tab;
+  env : Compiled.env;  (* signal values indexed by dense id *)
   kernel : kernel;
   nodes : comb_node array;  (* topological order: writers before readers *)
-  sens : (string, int list) Hashtbl.t;  (* signal -> ranks of reading nodes *)
+  sens : int list array;  (* signal id -> ranks of reading nodes *)
   display_nodes : int list;  (* ranks of nodes containing $display *)
   dirty : bool array;  (* per-rank pending-re-evaluation flag *)
   mutable ndirty : int;
-  mutable notify : string -> unit;  (* change callback wired to [mark_signal] *)
+  mutable notify : int -> unit;  (* change callback wired to [mark_signal] *)
+  seq : (Elaborate.clock_edge * Compiled.cstmt list) list;
   prims : prim_state list;
   mutable cycle : int;
   mutable finished : bool;
@@ -74,10 +96,7 @@ let mark_rank sim r =
     sim.dirty.(r) <- true;
     sim.ndirty <- sim.ndirty + 1)
 
-let mark_signal sim name =
-  match Hashtbl.find_opt sim.sens name with
-  | Some ranks -> List.iter (mark_rank sim) ranks
-  | None -> ()
+let mark_signal sim i = List.iter (mark_rank sim) sim.sens.(i)
 
 let mark_all sim =
   Array.fill sim.dirty 0 (Array.length sim.dirty) true;
@@ -88,33 +107,37 @@ let mark_all sim =
 (* ------------------------------------------------------------------ *)
 
 let node_reads = function
-  | Cassign (l, e) -> Ast.dedup (Ast.expr_reads e @ Ast.lvalue_reads l)
-  | Cblock stmts -> Ast.dedup (List.concat_map Ast.stmt_reads stmts)
+  | Aassign (l, e) -> Ast.dedup (Ast.expr_reads e @ Ast.lvalue_reads l)
+  | Ablock stmts -> Ast.dedup (List.concat_map Ast.stmt_reads stmts)
 
 let node_writes = function
-  | Cassign (l, _) -> Ast.lvalue_bases l
-  | Cblock stmts -> Ast.dedup (List.concat_map Ast.stmt_writes stmts)
+  | Aassign (l, _) -> Ast.lvalue_bases l
+  | Ablock stmts -> Ast.dedup (List.concat_map Ast.stmt_writes stmts)
 
-let topo_sort (nodes : comb_node list) : comb_node list =
+let topo_sort (nodes : ast_node list) : ast_node list =
   let arr = Array.of_list nodes in
   let n = Array.length arr in
   let writes = Array.map node_writes arr in
   let reads = Array.map node_reads arr in
-  (* writer index for every written signal *)
-  let writers = Hashtbl.create 16 in
+  (* reader index for every read signal, built once: successor lookup is
+     then linear in the actual edges rather than rescanning every node's
+     read set for every written signal *)
+  let readers = Hashtbl.create (max 16 n) in
   Array.iteri
-    (fun i ws -> List.iter (fun w -> Hashtbl.add writers w i) ws)
-    writes;
+    (fun j rs ->
+      List.iter
+        (fun r ->
+          let prev = Option.value (Hashtbl.find_opt readers r) ~default:[] in
+          Hashtbl.replace readers r (j :: prev))
+        rs)
+    reads;
   let succs i =
     (* nodes that read what node i writes *)
-    let out = ref [] in
-    List.iter
-      (fun w ->
-        Array.iteri
-          (fun j rs -> if j <> i && List.mem w rs then out := j :: !out)
-          reads)
-      writes.(i);
-    List.sort_uniq Int.compare !out
+    List.concat_map
+      (fun w -> Option.value (Hashtbl.find_opt readers w) ~default:[])
+      writes.(i)
+    |> List.filter (fun j -> j <> i)
+    |> List.sort_uniq Int.compare
   in
   let state = Array.make n 0 (* 0 unvisited, 1 in-stack, 2 done *) in
   let order = ref [] in
@@ -143,74 +166,76 @@ let topo_sort (nodes : comb_node list) : comb_node list =
 
 type exec_ctx = {
   sim : t;
-  mutable pending : Eval.resolved_write list;  (* reversed *)
+  mutable pending : Compiled.cwrite list;  (* reversed *)
   in_comb_phase : bool;
   displays_enabled : bool;
 }
 
 let emit_display ctx fmt args =
   if ctx.displays_enabled then (
-    let vals = List.map (Eval.eval ctx.sim.env) args in
+    let vals = List.map (Compiled.eval ctx.sim.env) args in
     let text = Display.render fmt vals in
     ctx.sim.log <- (ctx.sim.cycle, text) :: ctx.sim.log;
     match ctx.sim.display_hook with
     | Some f -> f ctx.sim.cycle text
     | None -> ())
 
-let rec exec_stmt ctx (s : Ast.stmt) =
+let rec exec_stmt ctx (s : Compiled.cstmt) =
   if not ctx.sim.finished then
     match s with
-    | Ast.Blocking (l, e) ->
+    | Compiled.CSblocking (l, e, cw) ->
         (* blocking assignments update immediately, visible to the next
            statement, in both combinational and sequential blocks *)
-        let v = Eval.eval_assign ctx.sim.env l e in
-        Eval.write_notify ctx.sim.env ~notify:ctx.sim.notify l v
-    | Ast.Nonblocking (l, e) ->
-        let v = Eval.eval_assign ctx.sim.env l e in
+        let v = Compiled.eval_ctx ctx.sim.env ~ctx:cw e in
+        Compiled.write_notify ctx.sim.env ~notify:ctx.sim.notify l v
+    | Compiled.CSnonblocking (l, e, cw) ->
+        let v = Compiled.eval_ctx ctx.sim.env ~ctx:cw e in
         if ctx.in_comb_phase then
           (* non-blocking inside a combinational block degenerates to a
              blocking update in a two-phase simulator *)
-          Eval.write_notify ctx.sim.env ~notify:ctx.sim.notify l v
+          Compiled.write_notify ctx.sim.env ~notify:ctx.sim.notify l v
         else
           ctx.pending <-
-            List.rev_append (Eval.resolve_write ctx.sim.env l v) ctx.pending
-    | Ast.If (c, t, f) ->
-        if Bits.reduce_or (Eval.eval ctx.sim.env c) then
+            List.rev_append
+              (Compiled.resolve_write ctx.sim.env l v)
+              ctx.pending
+    | Compiled.CSif (c, t, f) ->
+        if Bits.reduce_or (Compiled.eval ctx.sim.env c) then
           List.iter (exec_stmt ctx) t
         else List.iter (exec_stmt ctx) f
-    | Ast.Case (e, items, default) -> (
-        let v = Eval.eval ctx.sim.env e in
-        let matches item =
+    | Compiled.CScase (e, items, default) -> (
+        let v = Compiled.eval ctx.sim.env e in
+        let matches (match_exprs, _) =
           List.exists
             (fun me ->
-              let mv = Eval.eval ctx.sim.env me in
+              let mv = Compiled.eval ctx.sim.env me in
               let w = max (Bits.width v) (Bits.width mv) in
               Bits.equal (Bits.resize v w) (Bits.resize mv w))
-            item.Ast.match_exprs
+            match_exprs
         in
         match List.find_opt matches items with
-        | Some item -> List.iter (exec_stmt ctx) item.Ast.body
+        | Some (_, body) -> List.iter (exec_stmt ctx) body
         | None -> (
             match default with
             | Some body -> List.iter (exec_stmt ctx) body
             | None -> ()))
-    | Ast.Display (fmt, args) -> emit_display ctx fmt args
-    | Ast.Finish -> ctx.sim.finished <- true
+    | Compiled.CSdisplay (fmt, args) -> emit_display ctx fmt args
+    | Compiled.CSfinish -> ctx.sim.finished <- true
 
 (* ------------------------------------------------------------------ *)
 (* Primitives                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let prim_param p name default =
-  Option.value (List.assoc_opt name p.fp_params) ~default
+let prim_param (cp : cprim) name default =
+  Option.value (List.assoc_opt name cp.cp_src.fp_params) ~default
 
-let make_prim_state (p : fprim) : prim_state =
-  match p.fp_kind with
+let make_prim_state (cp : cprim) : prim_state =
+  match cp.cp_src.fp_kind with
   | Scfifo | Dcfifo ->
-      let width = prim_param p "lpm_width" 8 in
-      let depth = prim_param p "lpm_numwords" 16 in
+      let width = prim_param cp "lpm_width" 8 in
+      let depth = prim_param cp "lpm_numwords" 16 in
       Pfifo
-        ( p,
+        ( cp,
           {
             f_depth = depth;
             f_width = width;
@@ -219,32 +244,31 @@ let make_prim_state (p : fprim) : prim_state =
             f_count = 0;
           } )
   | Altsyncram ->
-      let width = prim_param p "width_a" 8 in
-      let words = prim_param p "numwords_a" 16 in
-      Pram (p, { r_words = Array.make words (Bits.zero width); r_q = Bits.zero width })
+      let width = prim_param cp "width_a" 8 in
+      let words = prim_param cp "numwords_a" 16 in
+      Pram
+        (cp, { r_words = Array.make words (Bits.zero width); r_q = Bits.zero width })
 
-let prim_input env (p : fprim) name =
-  match List.assoc_opt name p.fp_inputs with
-  | Some e -> Eval.eval env e
+let prim_input env (cp : cprim) name =
+  match List.assoc_opt name cp.cp_inputs with
+  | Some e -> Compiled.eval env e
   | None -> Bits.zero 1
 
-let prim_input_bool env p name = Bits.reduce_or (prim_input env p name)
+let prim_input_bool env cp name = Bits.reduce_or (prim_input env cp name)
 
 (* Drive a primitive output signal if it is connected; change-detected
    so a quiescent primitive does not wake its combinational readers. *)
-let drive sim (p : fprim) formal value =
-  match List.assoc_opt formal p.fp_outputs with
+let drive sim (cp : cprim) formal value =
+  match List.assoc_opt formal cp.cp_outputs with
   | None -> ()
-  | Some sig_name -> (
-      match Hashtbl.find_opt sim.env sig_name with
-      | Some (Eval.Vec old) ->
+  | Some i -> (
+      match sim.env.(i) with
+      | Compiled.Vec old ->
           let value = Bits.resize value (Bits.width old) in
           if not (Bits.equal old value) then (
-            Hashtbl.replace sim.env sig_name (Eval.Vec value);
-            sim.notify sig_name)
-      | _ ->
-          Hashtbl.replace sim.env sig_name (Eval.Vec value);
-          sim.notify sig_name)
+            sim.env.(i) <- Compiled.Vec value;
+            sim.notify i)
+      | Compiled.Mem _ -> ())
 
 let fifo_port_names kind =
   match kind with
@@ -252,24 +276,26 @@ let fifo_port_names kind =
   | Dcfifo -> ("wrreq", "rdreq", "data", "q", "wrfull", "rdempty", "wrusedw")
   | Altsyncram -> assert false
 
-let drive_fifo_outputs sim (p : fprim) (f : fifo_state) =
-  let _, _, _, q, full, empty, usedw = fifo_port_names p.fp_kind in
+let drive_fifo_outputs sim (cp : cprim) (f : fifo_state) =
+  let _, _, _, q, full, empty, usedw = fifo_port_names cp.cp_src.fp_kind in
   let front =
     if f.f_count > 0 then f.f_data.(f.f_head) else Bits.zero f.f_width
   in
-  drive sim p q front;
-  drive sim p full (Bits.of_bool (f.f_count >= f.f_depth));
-  drive sim p empty (Bits.of_bool (f.f_count = 0));
+  drive sim cp q front;
+  drive sim cp full (Bits.of_bool (f.f_count >= f.f_depth));
+  drive sim cp empty (Bits.of_bool (f.f_count = 0));
   (* [drive] resizes to the connected signal's declared width *)
-  drive sim p usedw (Bits.of_int ~width:16 f.f_count)
+  drive sim cp usedw (Bits.of_int ~width:16 f.f_count)
 
 let step_prim env (ps : prim_state) =
   match ps with
-  | Pfifo (p, f) ->
-      let wrreq_n, rdreq_n, data_n, _, _, _, _ = fifo_port_names p.fp_kind in
-      let wrreq = prim_input_bool env p wrreq_n in
-      let rdreq = prim_input_bool env p rdreq_n in
-      let data = Bits.resize (prim_input env p data_n) f.f_width in
+  | Pfifo (cp, f) ->
+      let wrreq_n, rdreq_n, data_n, _, _, _, _ =
+        fifo_port_names cp.cp_src.fp_kind
+      in
+      let wrreq = prim_input_bool env cp wrreq_n in
+      let rdreq = prim_input_bool env cp rdreq_n in
+      let data = Bits.resize (prim_input env cp data_n) f.f_width in
       let popped = rdreq && f.f_count > 0 in
       let pushed = wrreq && f.f_count < f.f_depth in
       if popped then (
@@ -278,10 +304,10 @@ let step_prim env (ps : prim_state) =
       if pushed then (
         f.f_data.((f.f_head + f.f_count) mod f.f_depth) <- data;
         f.f_count <- f.f_count + 1)
-  | Pram (p, r) ->
-      let addr = Bits.to_int_trunc (prim_input env p "address_a") in
-      let wren = prim_input_bool env p "wren_a" in
-      let data = prim_input env p "data_a" in
+  | Pram (cp, r) ->
+      let addr = Bits.to_int_trunc (prim_input env cp "address_a") in
+      let wren = prim_input_bool env cp "wren_a" in
+      let data = prim_input env cp "data_a" in
       let size = Array.length r.r_words in
       let k = if size = 0 then 0 else addr mod size in
       (* registered read of the old word, then write *)
@@ -291,8 +317,8 @@ let step_prim env (ps : prim_state) =
 
 let drive_prim_outputs sim ps =
   match ps with
-  | Pfifo (p, f) -> drive_fifo_outputs sim p f
-  | Pram (p, r) -> drive sim p "q_a" r.r_q
+  | Pfifo (cp, f) -> drive_fifo_outputs sim cp f
+  | Pram (cp, r) -> drive sim cp "q_a" r.r_q
 
 (* ------------------------------------------------------------------ *)
 (* Construction and stepping                                           *)
@@ -310,53 +336,66 @@ let rec stmt_has_display (s : Ast.stmt) =
          | None -> false)
   | Ast.Blocking _ | Ast.Nonblocking _ | Ast.Finish -> false
 
+let compile_node tab = function
+  | Aassign (l, e) ->
+      let cl = Compiled.compile_lvalue tab l in
+      Cassign (cl, Compiled.compile_expr tab e, Compiled.clvalue_width cl)
+  | Ablock stmts -> Cblock (List.map (Compiled.compile_stmt tab) stmts)
+
 let create ?(kernel = Event_driven) (flat : flat) : t =
-  let env : Eval.env = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun name (s : fsignal) ->
-      let v =
-        match s.fs_depth with
-        | Some n ->
-            let init = Option.value s.fs_init ~default:(Bits.zero s.fs_width) in
-            Eval.Mem (Array.make n init)
-        | None ->
-            Eval.Vec
-              (match s.fs_init with
-              | Some b -> Bits.resize b s.fs_width
-              | None -> Bits.zero s.fs_width)
-      in
-      Hashtbl.replace env name v)
-    flat.f_signals;
+  let tab = Compiled.of_flat flat in
+  let env = Compiled.fresh_env flat in
   let node_list =
-    List.map (fun (l, e) -> Cassign (l, e)) flat.f_assigns
-    @ List.map (fun b -> Cblock b) flat.f_comb
+    List.map (fun (l, e) -> Aassign (l, e)) flat.f_assigns
+    @ List.map (fun b -> Ablock b) flat.f_comb
   in
-  let nodes = Array.of_list (topo_sort node_list) in
+  let ast_nodes = Array.of_list (topo_sort node_list) in
+  let nodes = Array.map (compile_node tab) ast_nodes in
   let n = Array.length nodes in
-  (* sensitivity map: every signal a node reads wakes that node *)
-  let sens = Hashtbl.create (max 16 n) in
+  (* sensitivity map on ids: every signal a node reads wakes that node *)
+  let sens = Array.make (Array.length flat.f_signal_order) [] in
   Array.iteri
     (fun rank node ->
       List.iter
         (fun s ->
-          let prev = Option.value (Hashtbl.find_opt sens s) ~default:[] in
-          Hashtbl.replace sens s (rank :: prev))
+          match Hashtbl.find_opt flat.f_signal_ids s with
+          | Some i -> sens.(i) <- rank :: sens.(i)
+          | None -> ())
         (node_reads node))
-    nodes;
+    ast_nodes;
   let display_nodes =
     Array.to_list
       (Array.mapi
          (fun rank node ->
            match node with
-           | Cblock stmts when List.exists stmt_has_display stmts -> Some rank
+           | Ablock stmts when List.exists stmt_has_display stmts -> Some rank
            | _ -> None)
-         nodes)
+         ast_nodes)
     |> List.filter_map Fun.id
   in
-  let prims = List.map make_prim_state flat.f_prims in
+  let seq =
+    List.map
+      (fun (e, _clk, body) -> (e, List.map (Compiled.compile_stmt tab) body))
+      flat.f_seq
+  in
+  let prims =
+    List.map
+      (fun (p : fprim) ->
+        let cp =
+          {
+            cp_src = p;
+            cp_inputs =
+              List.map (fun (f, e) -> (f, Compiled.compile_expr tab e)) p.fp_inputs;
+            cp_outputs =
+              List.map (fun (f, s) -> (f, Compiled.id tab s)) p.fp_outputs;
+          }
+        in
+        make_prim_state cp)
+      flat.f_prims
+  in
   let sim =
-    { flat; env; kernel; nodes; sens; display_nodes;
-      dirty = Array.make n true; ndirty = n; notify = ignore; prims;
+    { flat; tab; env; kernel; nodes; sens; display_nodes;
+      dirty = Array.make n true; ndirty = n; notify = ignore; seq; prims;
       cycle = 0; finished = false; log = []; display_hook = None }
   in
   (match kernel with
@@ -369,9 +408,9 @@ let create ?(kernel = Event_driven) (flat : flat) : t =
 
 let exec_node ctx node =
   match node with
-  | Cassign (l, e) ->
-      let v = Eval.eval_assign ctx.sim.env l e in
-      Eval.write_notify ctx.sim.env ~notify:ctx.sim.notify l v
+  | Cassign (l, e, cw) ->
+      let v = Compiled.eval_ctx ctx.sim.env ~ctx:cw e in
+      Compiled.write_notify ctx.sim.env ~notify:ctx.sim.notify l v
   | Cblock stmts -> List.iter (exec_stmt ctx) stmts
 
 let settle ?(displays = false) (sim : t) =
@@ -397,38 +436,55 @@ let settle ?(displays = false) (sim : t) =
             exec_node ctx sim.nodes.(r))
         done
 
+(* Public accessors stay name-keyed: one id lookup per call, then array
+   reads/writes. *)
+let find_id sim name = Hashtbl.find_opt sim.flat.f_signal_ids name
+
 let set_input sim name value =
-  match Hashtbl.find_opt sim.env name with
-  | Some (Eval.Vec old) ->
-      let value = Bits.resize value (Bits.width old) in
-      if not (Bits.equal old value) then (
-        Hashtbl.replace sim.env name (Eval.Vec value);
-        sim.notify name)
-  | Some (Eval.Mem _) -> invalid_arg "Simulator.set_input: memory"
+  match find_id sim name with
+  | Some i -> (
+      match sim.env.(i) with
+      | Compiled.Vec old ->
+          let value = Bits.resize value (Bits.width old) in
+          if not (Bits.equal old value) then (
+            sim.env.(i) <- Compiled.Vec value;
+            sim.notify i)
+      | Compiled.Mem _ -> invalid_arg "Simulator.set_input: memory")
   | None -> invalid_arg (Printf.sprintf "Simulator.set_input: unknown %s" name)
 
 let set_input_int sim name v =
-  match Hashtbl.find_opt sim.env name with
-  | Some (Eval.Vec old) ->
-      let value = Bits.of_int ~width:(Bits.width old) v in
-      if not (Bits.equal old value) then (
-        Hashtbl.replace sim.env name (Eval.Vec value);
-        sim.notify name)
-  | _ -> invalid_arg (Printf.sprintf "Simulator.set_input_int: unknown %s" name)
+  match find_id sim name with
+  | Some i -> (
+      match sim.env.(i) with
+      | Compiled.Vec old ->
+          let value = Bits.of_int ~width:(Bits.width old) v in
+          if not (Bits.equal old value) then (
+            sim.env.(i) <- Compiled.Vec value;
+            sim.notify i)
+      | Compiled.Mem _ ->
+          invalid_arg (Printf.sprintf "Simulator.set_input_int: unknown %s" name))
+  | None ->
+      invalid_arg (Printf.sprintf "Simulator.set_input_int: unknown %s" name)
 
 let read sim name =
-  match Hashtbl.find_opt sim.env name with
-  | Some (Eval.Vec b) -> b
-  | Some (Eval.Mem _) ->
-      invalid_arg (Printf.sprintf "Simulator.read: %s is a memory" name)
+  match find_id sim name with
+  | Some i -> (
+      match sim.env.(i) with
+      | Compiled.Vec b -> b
+      | Compiled.Mem _ ->
+          invalid_arg (Printf.sprintf "Simulator.read: %s is a memory" name))
   | None -> invalid_arg (Printf.sprintf "Simulator.read: unknown %s" name)
 
 let read_int sim name = Bits.to_int_trunc (read sim name)
 
 let read_memory sim name =
-  match Hashtbl.find_opt sim.env name with
-  | Some (Eval.Mem a) -> Array.copy a
-  | _ -> invalid_arg (Printf.sprintf "Simulator.read_memory: %s" name)
+  match find_id sim name with
+  | Some i -> (
+      match sim.env.(i) with
+      | Compiled.Mem a -> Array.copy a
+      | Compiled.Vec _ ->
+          invalid_arg (Printf.sprintf "Simulator.read_memory: %s" name))
+  | None -> invalid_arg (Printf.sprintf "Simulator.read_memory: %s" name)
 
 (* Run the sequential blocks firing on one clock edge and commit their
    non-blocking writes. *)
@@ -437,12 +493,11 @@ let edge_phase (sim : t) (edge : Elaborate.clock_edge) ~with_prims =
     { sim; pending = []; in_comb_phase = false; displays_enabled = true }
   in
   List.iter
-    (fun (e, _clk, body) ->
-      if e = edge then List.iter (exec_stmt ctx) body)
-    sim.flat.f_seq;
+    (fun (e, body) -> if e = edge then List.iter (exec_stmt ctx) body)
+    sim.seq;
   if with_prims then List.iter (step_prim sim.env) sim.prims;
   List.iter
-    (Eval.apply_write_notify sim.env ~notify:sim.notify)
+    (Compiled.apply_write_notify sim.env ~notify:sim.notify)
     (List.rev ctx.pending);
   if with_prims then List.iter (drive_prim_outputs sim) sim.prims
 
@@ -482,7 +537,9 @@ let on_display sim f = sim.display_hook <- Some f
 (* A deep snapshot of the architectural state: environment, primitive
    contents, cycle count, and log. Restoring a checkpoint and stepping
    produces the same trace as the original run - the replay property
-   checkpoint-based FPGA debuggers (DESSERT, StateMover) rely on. *)
+   checkpoint-based FPGA debuggers (DESSERT, StateMover) rely on.
+   Snapshots are name-keyed so they stay meaningful independently of
+   the id assignment. *)
 type checkpoint = {
   cp_env : (string * Eval.value) list;
   cp_prims : (string * Bits.t array * int * int * Bits.t) list;
@@ -493,23 +550,28 @@ type checkpoint = {
 
 let checkpoint (sim : t) : checkpoint =
   let cp_env =
-    Hashtbl.fold
-      (fun name v acc ->
-        let copy =
-          match v with
-          | Eval.Vec b -> Eval.Vec b
-          | Eval.Mem a -> Eval.Mem (Array.copy a)
-        in
-        (name, copy) :: acc)
-      sim.env []
+    Array.to_list
+      (Array.mapi
+         (fun i name ->
+           let copy =
+             match sim.env.(i) with
+             | Compiled.Vec b -> Eval.Vec b
+             | Compiled.Mem a -> Eval.Mem (Array.copy a)
+           in
+           (name, copy))
+         sim.flat.f_signal_order)
   in
   let cp_prims =
     List.map
       (fun ps ->
         match ps with
-        | Pfifo (p, f) ->
-            (p.fp_name, Array.copy f.f_data, f.f_head, f.f_count, Bits.zero 1)
-        | Pram (p, r) -> (p.fp_name, Array.copy r.r_words, 0, 0, r.r_q))
+        | Pfifo (cp, f) ->
+            ( cp.cp_src.fp_name,
+              Array.copy f.f_data,
+              f.f_head,
+              f.f_count,
+              Bits.zero 1 )
+        | Pram (cp, r) -> (cp.cp_src.fp_name, Array.copy r.r_words, 0, 0, r.r_q))
       sim.prims
   in
   {
@@ -520,36 +582,44 @@ let checkpoint (sim : t) : checkpoint =
     cp_log = sim.log;
   }
 
-let restore (sim : t) (cp : checkpoint) : unit =
-  Hashtbl.reset sim.env;
+let restore (sim : t) (snap : checkpoint) : unit =
   List.iter
     (fun (name, v) ->
-      let copy =
-        match v with
-        | Eval.Vec b -> Eval.Vec b
-        | Eval.Mem a -> Eval.Mem (Array.copy a)
-      in
-      Hashtbl.replace sim.env name copy)
-    cp.cp_env;
+      match find_id sim name with
+      | Some i ->
+          sim.env.(i) <-
+            (match v with
+            | Eval.Vec b -> Compiled.Vec b
+            | Eval.Mem a -> Compiled.Mem (Array.copy a))
+      | None -> ())
+    snap.cp_env;
   List.iter
     (fun ps ->
       match ps with
-      | Pfifo (p, f) -> (
-          match List.find_opt (fun (n, _, _, _, _) -> n = p.fp_name) cp.cp_prims with
+      | Pfifo (cp, f) -> (
+          match
+            List.find_opt
+              (fun (n, _, _, _, _) -> n = cp.cp_src.fp_name)
+              snap.cp_prims
+          with
           | Some (_, data, head, count, _) ->
               Array.blit data 0 f.f_data 0 (Array.length data);
               f.f_head <- head;
               f.f_count <- count
           | None -> ())
-      | Pram (p, r) -> (
-          match List.find_opt (fun (n, _, _, _, _) -> n = p.fp_name) cp.cp_prims with
+      | Pram (cp, r) -> (
+          match
+            List.find_opt
+              (fun (n, _, _, _, _) -> n = cp.cp_src.fp_name)
+              snap.cp_prims
+          with
           | Some (_, words, _, _, q) ->
               Array.blit words 0 r.r_words 0 (Array.length words);
               r.r_q <- q
           | None -> ()))
     sim.prims;
-  sim.cycle <- cp.cp_cycle;
-  sim.finished <- cp.cp_finished;
-  sim.log <- cp.cp_log;
+  sim.cycle <- snap.cp_cycle;
+  sim.finished <- snap.cp_finished;
+  sim.log <- snap.cp_log;
   (* the whole environment may have changed: re-evaluate everything *)
   mark_all sim

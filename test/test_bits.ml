@@ -278,3 +278,103 @@ let suite =
       Alcotest.test_case "wide 128-bit ops" `Quick test_wide_ops_128;
       QCheck_alcotest.to_alcotest prop_set_slice_roundtrip;
     ]
+
+(* --- word-level vs bit-at-a-time differential tests ----------------------- *)
+
+(* Every limb-wise rewrite is pitted against the retained naive
+   reference (Bits.Naive) over widths that straddle the 32-bit limb
+   boundaries (1, 31-33, 63-65, 100+) and random operands. *)
+
+let boundary_widths = [ 1; 2; 31; 32; 33; 63; 64; 65; 100; 127; 128; 129; 150 ]
+
+let gen_boundary_width =
+  QCheck2.Gen.(
+    oneof [ oneofl boundary_widths; int_range 1 160 ])
+
+(* A random vector of exactly width [w]. *)
+let gen_bits_of_width w =
+  QCheck2.Gen.(
+    list_size (return w) bool >|= fun bs ->
+    List.fold_left
+      (fun (i, acc) b -> (i + 1, if b then Bits.set_bit acc i true else acc))
+      (0, Bits.zero w) bs
+    |> snd)
+
+let gen_diff_bits = QCheck2.Gen.(gen_boundary_width >>= gen_bits_of_width)
+
+let gen_diff_pair =
+  QCheck2.Gen.(
+    gen_diff_bits >>= fun a ->
+    gen_bits_of_width (Bits.width a) >|= fun b -> (a, b))
+
+(* A shift amount that exercises 0, sub-limb, cross-limb, and
+   beyond-width cases. *)
+let gen_shift_for w =
+  QCheck2.Gen.(
+    oneof [ int_range 0 (w + 4); oneofl [ 0; 1; 31; 32; 33; w - 1; w; w + 1 ] ]
+    >|= fun k -> max 0 k)
+
+let diff_prop name gen f = QCheck2.Test.make ~count:500 ~name gen f
+
+let gen_bits_and_shift =
+  QCheck2.Gen.(
+    gen_diff_bits >>= fun a ->
+    gen_shift_for (Bits.width a) >|= fun k -> (a, k))
+
+let gen_bits_and_range =
+  QCheck2.Gen.(
+    gen_diff_bits >>= fun a ->
+    let w = Bits.width a in
+    int_range 0 (w - 1) >>= fun lo ->
+    int_range lo (w - 1) >|= fun hi -> (a, hi, lo))
+
+let gen_set_slice_case =
+  QCheck2.Gen.(
+    gen_bits_and_range >>= fun (a, hi, lo) ->
+    gen_boundary_width >>= fun xw ->
+    gen_bits_of_width xw >|= fun x -> (a, hi, lo, x))
+
+let gen_concat_parts =
+  QCheck2.Gen.(
+    int_range 1 4 >>= fun n ->
+    list_size (return n) gen_diff_bits)
+
+let differential_properties =
+  [
+    diff_prop "shift_left vs naive" gen_bits_and_shift (fun (a, k) ->
+        Bits.equal (Bits.shift_left a k) (Bits.Naive.shift_left a k));
+    diff_prop "shift_right vs naive" gen_bits_and_shift (fun (a, k) ->
+        Bits.equal (Bits.shift_right a k) (Bits.Naive.shift_right a k));
+    diff_prop "arith_shift_right vs naive" gen_bits_and_shift (fun (a, k) ->
+        Bits.equal
+          (Bits.arith_shift_right a k)
+          (Bits.Naive.arith_shift_right a k));
+    diff_prop "slice vs naive" gen_bits_and_range (fun (a, hi, lo) ->
+        Bits.equal (Bits.slice a ~hi ~lo) (Bits.Naive.slice a ~hi ~lo));
+    diff_prop "set_slice vs naive" gen_set_slice_case (fun (a, hi, lo, x) ->
+        Bits.equal
+          (Bits.set_slice a ~hi ~lo x)
+          (Bits.Naive.set_slice a ~hi ~lo x));
+    diff_prop "set_slice no-op is phys-eq" gen_bits_and_range
+      (fun (a, hi, lo) ->
+        (* writing back the very bits that are already there must return
+           the argument physically unchanged *)
+        Bits.set_slice a ~hi ~lo (Bits.slice a ~hi ~lo) == a);
+    diff_prop "concat vs naive" gen_concat_parts (fun parts ->
+        Bits.equal (Bits.concat parts) (Bits.Naive.concat parts));
+    diff_prop "repeat vs naive"
+      QCheck2.Gen.(pair (int_range 1 5) gen_diff_bits)
+      (fun (n, a) -> Bits.equal (Bits.repeat n a) (Bits.Naive.repeat n a));
+    diff_prop "sign_extend vs naive"
+      QCheck2.Gen.(
+        gen_diff_bits >>= fun a ->
+        int_range 1 48 >|= fun extra -> (a, Bits.width a + extra))
+      (fun (a, w) ->
+        Bits.equal (Bits.sign_extend a w) (Bits.Naive.sign_extend a w));
+    diff_prop "mul vs naive" gen_diff_pair (fun (a, b) ->
+        Bits.equal (Bits.mul a b) (Bits.Naive.mul a b));
+    diff_prop "reduce_xor vs naive" gen_diff_bits (fun a ->
+        Bits.reduce_xor a = Bits.Naive.reduce_xor a);
+  ]
+
+let suite = suite @ List.map QCheck_alcotest.to_alcotest differential_properties
