@@ -22,6 +22,7 @@ module Registry = Fpga_testbed.Registry
 module Recipe = Fpga_testbed.Recipe
 module Bits = Fpga_bits.Bits
 module Simulator = Fpga_sim.Simulator
+module Telemetry = Fpga_telemetry.Telemetry
 
 let header = Report.header
 
@@ -199,9 +200,88 @@ let bench_one (d : bench_design) =
       sim_cycles_per_sec ~kernel:Simulator.Brute_force flat d.bd_stim;
   }
 
-let json_of_results results bits lookup =
+(* Kernel-telemetry readout: one instrumented 2000-cycle run per bench
+   design, reporting how much of the full-sweep work the event-driven
+   kernel actually performed and how the global event bus filled. *)
+type telemetry_stats = {
+  ts_design : string;
+  ts_settles : int;
+  ts_node_rounds : int;
+  ts_nodes_evaluated : int;
+  ts_efficiency : float;
+  ts_bus_published : int;
+  ts_bus_dropped : int;
+}
+
+let telemetry_stats_one (d : bench_design) =
+  let design = Fpga_hdl.Parser.parse_design d.bd_src in
+  let flat = Fpga_sim.Elaborate.elaborate design ~top:d.bd_top in
+  Telemetry.reset ();
+  let sim = Simulator.create ~kernel:Simulator.Event_driven flat in
+  let n = ref 0 in
+  while !n < 2000 && not (Simulator.finished sim) do
+    List.iter (fun (nm, v) -> Simulator.set_input sim nm v) (d.bd_stim !n);
+    Simulator.step sim;
+    incr n
+  done;
+  let st = Option.get (Simulator.stats sim) in
+  let r = Telemetry.report () in
+  {
+    ts_design = d.bd_id;
+    ts_settles = st.Simulator.st_settles;
+    ts_node_rounds = st.Simulator.st_node_rounds;
+    ts_nodes_evaluated = st.Simulator.st_nodes_evaluated;
+    ts_efficiency = Option.value (Simulator.kernel_efficiency sim) ~default:1.0;
+    ts_bus_published = r.Telemetry.r_bus_published;
+    ts_bus_dropped = r.Telemetry.r_bus_dropped;
+  }
+
+let telemetry_benches () =
+  Telemetry.enable ();
+  Fun.protect ~finally:Telemetry.disable @@ fun () ->
+  List.map telemetry_stats_one (bench_designs ())
+
+(* Cost of the single-branch disabled guard and of full recording: the
+   same stepping workload with telemetry off and on. The off numbers
+   must stay in line with the plain sim_cycles_per_sec_event metrics
+   (the <=5% disabled-overhead acceptance bar); the on numbers show
+   what a fully instrumented run pays. *)
+type overhead = {
+  to_design : string;
+  to_cps_off : float;
+  to_cps_on : float;
+  to_overhead_pct : float;
+}
+
+let telemetry_overhead_one (d : bench_design) =
+  let design = Fpga_hdl.Parser.parse_design d.bd_src in
+  let flat = Fpga_sim.Elaborate.elaborate design ~top:d.bd_top in
+  let kernel = Simulator.Event_driven in
+  let cps_off = sim_cycles_per_sec ~kernel flat d.bd_stim in
+  Telemetry.enable ();
+  Telemetry.reset ();
+  let cps_on =
+    Fun.protect ~finally:Telemetry.disable @@ fun () ->
+    sim_cycles_per_sec ~kernel flat d.bd_stim
+  in
+  {
+    to_design = d.bd_id;
+    to_cps_off = cps_off;
+    to_cps_on = cps_on;
+    to_overhead_pct = 100.0 *. (1.0 -. (cps_on /. cps_off));
+  }
+
+let telemetry_overhead_benches () =
+  List.filter_map
+    (fun (d : bench_design) ->
+      if d.bd_id = "IDLE64" || d.bd_id = "D2" then
+        Some (telemetry_overhead_one d)
+      else None)
+    (bench_designs ())
+
+let json_of_results results bits lookup telem overheads =
   let buf = Buffer.create 2048 in
-  Buffer.add_string buf "{\n  \"schema\": \"fpga-debug-bench/2\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"fpga-debug-bench/3\",\n";
   Buffer.add_string buf "  \"designs\": [\n";
   List.iteri
     (fun i r ->
@@ -227,9 +307,34 @@ let json_of_results results bits lookup =
   Buffer.add_string buf
     (Printf.sprintf
        "  \"signal_lookup\": {\"hashtbl_per_sec\": %.1f, \"array_per_sec\": \
-        %.1f}\n"
+        %.1f},\n"
        lookup.lb_hashtbl_per_sec lookup.lb_array_per_sec);
-  Buffer.add_string buf "}\n";
+  (* telemetry sections are keyed on "design" (not "id") so the
+     line-based baseline scanner above never conflates them with the
+     throughput entries *)
+  Buffer.add_string buf "  \"telemetry\": [\n";
+  List.iteri
+    (fun i t ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"design\": %S, \"settles\": %d, \"node_rounds\": %d, \
+            \"nodes_evaluated\": %d, \"kernel_efficiency\": %.4f, \
+            \"bus_published\": %d, \"bus_dropped\": %d}%s\n"
+           t.ts_design t.ts_settles t.ts_node_rounds t.ts_nodes_evaluated
+           t.ts_efficiency t.ts_bus_published t.ts_bus_dropped
+           (if i = List.length telem - 1 then "" else ",")))
+    telem;
+  Buffer.add_string buf "  ],\n  \"telemetry_overhead\": [\n";
+  List.iteri
+    (fun i o ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"design\": %S, \"cps_off\": %.1f, \"cps_on\": %.1f, \
+            \"overhead_pct\": %.1f}%s\n"
+           o.to_design o.to_cps_off o.to_cps_on o.to_overhead_pct
+           (if i = List.length overheads - 1 then "" else ",")))
+    overheads;
+  Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
 
 (* --------------------------------------------------------------- *)
@@ -331,7 +436,9 @@ let run_json_bench path baseline =
   let results = List.map bench_one (bench_designs ()) in
   let bits = bits_benches () in
   let lookup = signal_lookup_bench () in
-  let json = json_of_results results bits lookup in
+  let telem = telemetry_benches () in
+  let overheads = telemetry_overhead_benches () in
+  let json = json_of_results results bits lookup telem overheads in
   let oc = open_out path in
   output_string oc json;
   close_out oc;
@@ -353,6 +460,21 @@ let run_json_bench path baseline =
     "\nsignal lookup: hashtbl %.1f/s, interned array %.1f/s (%.1fx)\n"
     lookup.lb_hashtbl_per_sec lookup.lb_array_per_sec
     (lookup.lb_array_per_sec /. lookup.lb_hashtbl_per_sec);
+  Printf.printf "\n%-8s %10s %12s %10s %10s %10s %9s\n" "design" "settles"
+    "node rnds" "evaluated" "eff %" "bus pub" "bus drop";
+  List.iter
+    (fun t ->
+      Printf.printf "%-8s %10d %12d %10d %9.1f%% %10d %9d\n" t.ts_design
+        t.ts_settles t.ts_node_rounds t.ts_nodes_evaluated
+        (100.0 *. t.ts_efficiency) t.ts_bus_published t.ts_bus_dropped)
+    telem;
+  Printf.printf "\n%-8s %16s %16s %10s\n" "design" "cyc/s telem off"
+    "cyc/s telem on" "overhead";
+  List.iter
+    (fun o ->
+      Printf.printf "%-8s %16.1f %16.1f %9.1f%%\n" o.to_design o.to_cps_off
+        o.to_cps_on o.to_overhead_pct)
+    overheads;
   Printf.printf "\nwrote %s\n" path;
   match baseline with
   | None -> ()

@@ -10,6 +10,7 @@
      fpga-debug losscheck D2              LossCheck localization
      fpga-debug instrument D2 -o out.v    emit the instrumented Verilog
      fpga-debug vcd D2 -o wave.vcd        dump a waveform of the buggy run
+     fpga-debug profile D2 --cycles 200   kernel-profiling telemetry run
      fpga-debug report table1|table2|fig2|fig3|effectiveness|freq *)
 
 open Cmdliner
@@ -352,6 +353,48 @@ let vcd_cmd =
   in
   Cmd.v (Cmd.info "vcd" ~doc) Term.(const run $ bug_arg $ out_arg)
 
+(* --- profile -------------------------------------------------------- *)
+
+let profile_cmd =
+  let doc =
+    "Run a bug's buggy design with telemetry enabled and report kernel \
+     statistics: settle rounds, nodes evaluated vs. skipped, the \
+     hottest signals by toggle count, and event-bus occupancy versus \
+     --buffer depth."
+  in
+  let cycles_arg =
+    Arg.(value & opt int 200 & info [ "cycles" ] ~docv:"N" ~doc:"Cycles to run")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Also write the JSON report")
+  in
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"Hottest signals to show")
+  in
+  let kernel_arg =
+    Arg.(value
+         & opt (enum [ ("event", Fpga_sim.Simulator.Event_driven);
+                       ("brute", Fpga_sim.Simulator.Brute_force) ])
+             Fpga_sim.Simulator.Event_driven
+         & info [ "kernel" ] ~docv:"KERNEL" ~doc:"Settle kernel: event|brute")
+  in
+  let run id cycles json buffer top_k kernel =
+    let bug = find_bug id in
+    let p = Fpga_report.Profile.run ~kernel ~cycles ~buffer ~top_k bug in
+    Fpga_report.Profile.print p;
+    match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Fpga_report.Profile.to_json p);
+        close_out oc;
+        Printf.printf "\nwrote %s\n" path
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ bug_arg $ cycles_arg $ json_arg $ buffer_arg $ top_arg
+          $ kernel_arg)
+
 (* --- lint ------------------------------------------------------------ *)
 
 let lint_cmd =
@@ -507,11 +550,16 @@ let sim_cmd =
              | _ -> None)
   in
   let run file top cycles stim watch vcd_out =
+    let module Telemetry = Fpga_telemetry.Telemetry in
     let design =
+      Telemetry.span "parse" @@ fun () ->
       Fpga_hdl.Parser.parse_design
         (In_channel.with_open_text file In_channel.input_all)
     in
-    let flat = Fpga_sim.Elaborate.elaborate design ~top in
+    let flat =
+      Telemetry.span "elaborate" @@ fun () ->
+      Fpga_sim.Elaborate.elaborate design ~top
+    in
     let sim = Fpga_sim.Simulator.create flat in
     let vcd = Option.map (fun _ -> Fpga_sim.Vcd.create flat) vcd_out in
     let stim_table = match stim with Some p -> parse_stim p | None -> [] in
@@ -644,6 +692,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; repro_cmd; fsm_cmd; stats_cmd; deps_cmd; losscheck_cmd;
-            instrument_cmd; vcd_cmd; lint_cmd; wavediff_cmd; snippets_cmd;
-            export_cmd; sim_cmd; report_cmd;
+            instrument_cmd; vcd_cmd; profile_cmd; lint_cmd; wavediff_cmd;
+            snippets_cmd; export_cmd; sim_cmd; report_cmd;
           ]))

@@ -7,6 +7,7 @@
 module Ast = Fpga_hdl.Ast
 module Deps = Fpga_analysis.Deps
 module Ip_models = Fpga_analysis.Ip_models
+module Telemetry = Fpga_telemetry.Telemetry
 
 type plan = {
   module_name : string;
@@ -149,8 +150,10 @@ let instrument (p : plan) (m : Ast.module_def) : Ast.module_def =
 
 (* The update trace recovered from the unified log. Note the logged
    value is the signal's *new* value: the display fires in the cycle the
-   change is observed. *)
-let updates (_p : plan) (log : (int * string) list) : update list =
+   change is observed. [decode_updates] is the pure parser; the public
+   {!updates} also publishes each update onto the telemetry bus (once
+   per call — {!backtrace} decodes without re-publishing). *)
+let decode_updates (log : (int * string) list) : update list =
   Instrument.tagged_lines tag log
   |> List.filter_map (fun (cycle, payload) ->
          match String.split_on_char '=' payload with
@@ -160,11 +163,30 @@ let updates (_p : plan) (log : (int * string) list) : update list =
              | None -> None)
          | _ -> None)
 
+let updates_counter = Telemetry.Counter.make "dep_monitor.updates"
+
+let updates (_p : plan) (log : (int * string) list) : update list =
+  let us = decode_updates log in
+  if Telemetry.enabled () then
+    List.iter
+      (fun u ->
+        Telemetry.Counter.incr updates_counter;
+        Telemetry.Bus.publish Telemetry.bus
+          {
+            Telemetry.ev_cycle = u.cycle;
+            ev_source = "dep_monitor";
+            ev_kind = "update";
+            ev_data =
+              [ ("signal", u.signal); ("value", string_of_int u.value) ];
+          })
+      us;
+  us
+
 (* Backtrace helper: updates to chain members in the [k] cycles leading
    up to [at_cycle], newest first - what a developer inspects to find
    where a wrong value entered the chain. *)
 let backtrace (p : plan) (log : (int * string) list) ~at_cycle : update list =
-  updates p log
+  decode_updates log
   |> List.filter (fun u ->
          u.cycle <= at_cycle && u.cycle >= at_cycle - p.cycles)
   |> List.sort (fun a b -> compare b.cycle a.cycle)

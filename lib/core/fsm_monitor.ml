@@ -6,6 +6,7 @@
 module Ast = Fpga_hdl.Ast
 module Bits = Fpga_bits.Bits
 module Fsm_detect = Fpga_analysis.Fsm_detect
+module Telemetry = Fpga_telemetry.Telemetry
 
 type t = { module_name : string; fsms : Fsm_detect.fsm list }
 
@@ -98,8 +99,12 @@ let instrument (t : t) (m : Ast.module_def) : Ast.module_def =
     Instrument.add_logic m ~decls
       ~always:[ { Ast.sens = Ast.Posedge clk; stmts } ])
 
-(* Rebuild the transition trace from the unified log. *)
-let transitions (t : t) (log : (int * string) list) : transition list =
+(* Rebuild the transition trace from the unified log. The [decode_]
+   variant is the pure parser shared by every consumer; the public
+   {!transitions} additionally publishes each decoded transition onto
+   the telemetry bus (exactly once per call, never from the internal
+   uses in {!final_states}). *)
+let decode_transitions (t : t) (log : (int * string) list) : transition list =
   Instrument.tagged_lines tag log
   |> List.filter_map (fun (cycle, payload) ->
          match String.index_opt payload ':' with
@@ -136,10 +141,33 @@ let transitions (t : t) (log : (int * string) list) : transition list =
                  | _ -> None)
              | _ -> None))
 
+let transitions_counter = Telemetry.Counter.make "fsm_monitor.transitions"
+
+let transitions (t : t) (log : (int * string) list) : transition list =
+  let trans = decode_transitions t log in
+  if Telemetry.enabled () then
+    List.iter
+      (fun tr ->
+        Telemetry.Counter.incr transitions_counter;
+        Telemetry.Bus.publish Telemetry.bus
+          {
+            Telemetry.ev_cycle = tr.cycle;
+            ev_source = "fsm_monitor";
+            ev_kind = "transition";
+            ev_data =
+              [
+                ("state_var", tr.state_var);
+                ("from", tr.from_name);
+                ("to", tr.to_name);
+              ];
+          })
+      trans;
+  trans
+
 (* The last observed state of every monitored FSM: the "where is each
    state machine stuck" question of the grayscale case study. *)
 let final_states (t : t) (log : (int * string) list) : (string * string) list =
-  let trans = transitions t log in
+  let trans = decode_transitions t log in
   List.filter_map
     (fun (f : Fsm_detect.fsm) ->
       let mine =

@@ -28,6 +28,7 @@ module Bits = Fpga_bits.Bits
 module Path_constraint = Fpga_analysis.Path_constraint
 module Simulator = Fpga_sim.Simulator
 module Testbench = Fpga_sim.Testbench
+module Telemetry = Fpga_telemetry.Telemetry
 
 type spec = { source : string; valid : Ast.expr; sink : string }
 
@@ -573,7 +574,10 @@ let instrument (plan : plan) (m : Ast.module_def) : Ast.module_def =
 (* Dynamic analysis                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let alarms (log : (int * string) list) : (int * string) list =
+(* [decode_alarms] is the pure parser; the public {!alarms} also
+   publishes each alarm onto the telemetry bus (once per call —
+   {!alarm_registers} decodes without re-publishing). *)
+let decode_alarms (log : (int * string) list) : (int * string) list =
   Instrument.tagged_lines tag log
   |> List.filter_map (fun (cycle, payload) ->
          let prefix = "potential data loss at " in
@@ -582,7 +586,25 @@ let alarms (log : (int * string) list) : (int * string) list =
            Some (cycle, String.sub payload pl (String.length payload - pl))
          else None)
 
-let alarm_registers log = Ast.dedup (List.map snd (alarms log))
+let alarms_counter = Telemetry.Counter.make "losscheck.alarms"
+
+let alarms (log : (int * string) list) : (int * string) list =
+  let al = decode_alarms log in
+  if Telemetry.enabled () then
+    List.iter
+      (fun (cycle, reg) ->
+        Telemetry.Counter.incr alarms_counter;
+        Telemetry.Bus.publish Telemetry.bus
+          {
+            Telemetry.ev_cycle = cycle;
+            ev_source = "losscheck";
+            ev_kind = "alarm";
+            ev_data = [ ("register", reg) ];
+          })
+      al;
+  al
+
+let alarm_registers log = Ast.dedup (List.map snd (decode_alarms log))
 
 type result = {
   reported : string list;  (* alarming registers after filtering *)

@@ -1,0 +1,45 @@
+(** Kernel profiling of a testbed bug: run the buggy design with
+    telemetry on and summarize where the simulator spent its work.
+
+    This is the front end of the telemetry layer — the software analog
+    of reading the paper's Statistics-Monitor counters and recording-IP
+    occupancy back from the FPGA after a run. *)
+
+type t = {
+  p_bug_id : string;
+  p_top : string;
+  p_kernel : string;  (** ["event"] or ["brute"] *)
+  p_cycles_requested : int;
+  p_cycles_run : int;
+  p_finished : bool;
+  p_stats : Fpga_sim.Simulator.stats;
+  p_efficiency : float;
+      (** nodes evaluated / node rounds — 1.0 means the event-driven
+          kernel skipped nothing (or the brute-force kernel ran) *)
+  p_hottest : (string * int) list;  (** top-K signals by toggle count *)
+  p_spans : (string * int * float) list;  (** (phase, calls, seconds) *)
+  p_counters : (string * int) list;
+  p_bus_depth : int;
+  p_bus_published : int;
+  p_bus_dropped : int;
+  p_bus_retained : int;
+}
+
+val run :
+  ?kernel:Fpga_sim.Simulator.kernel ->
+  ?cycles:int ->
+  ?buffer:int ->
+  ?top_k:int ->
+  Fpga_testbed.Bug.t ->
+  t
+(** Profile [cycles] (default 200) cycles of the bug's buggy design
+    under its own stimulus, with the global event bus resized to
+    [buffer] (default 8192) entries. Telemetry is enabled and reset for
+    the run; the previous enabled/disabled state is restored on exit
+    (the bus keeps the run's contents so callers can inspect it). *)
+
+val to_json : t -> string
+(** Schema ["fpga-debug-profile/1"], stable for CI consumption. *)
+
+val print : t -> unit
+(** Human-readable tables on stdout. *)

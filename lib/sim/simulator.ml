@@ -32,6 +32,7 @@
 
 module Ast = Fpga_hdl.Ast
 module Bits = Fpga_bits.Bits
+module Telemetry = Fpga_telemetry.Telemetry
 open Elaborate
 
 exception Combinational_cycle of string list
@@ -68,6 +69,24 @@ type prim_state =
   | Pfifo of cprim * fifo_state
   | Pram of cprim * ram_state
 
+(* Kernel-profiling state, allocated at construction only when the
+   telemetry switch is on; [None] keeps the hot paths at a single
+   branch per settle/edge, with the per-node and per-write code
+   untouched. *)
+type istats = {
+  mutable s_steps : int;
+  mutable s_settles : int;
+  mutable s_node_rounds : int;  (* nodes considered: settles * plan size *)
+  mutable s_nodes_evaluated : int;
+  mutable s_dirty_total : int;  (* sum of dirty-set sizes at settle entry *)
+  mutable s_dirty_peak : int;
+  mutable s_nba_commits : int;
+  mutable s_prim_steps : int;
+  mutable s_displays : int;
+  s_toggles : int array;  (* per-signal change counts, by dense id *)
+  s_settle_hist : Telemetry.Histogram.t;  (* nodes evaluated per settle *)
+}
+
 type t = {
   flat : flat;
   tab : Compiled.tab;
@@ -84,7 +103,13 @@ type t = {
   mutable cycle : int;
   mutable finished : bool;
   mutable log : (int * string) list;  (* newest first *)
+  mutable log_len : int;
+  mutable log_memo : int * (int * string) list;
+      (* oldest-first view cached at a given length, so repeated [log]
+         reads between new displays cost O(1) instead of re-reversing *)
   mutable display_hook : (int -> string -> unit) option;
+  mutable step_hooks : (int -> unit) list;  (* registration order *)
+  stats : istats option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -176,6 +201,18 @@ let emit_display ctx fmt args =
     let vals = List.map (Compiled.eval ctx.sim.env) args in
     let text = Display.render fmt vals in
     ctx.sim.log <- (ctx.sim.cycle, text) :: ctx.sim.log;
+    ctx.sim.log_len <- ctx.sim.log_len + 1;
+    (match ctx.sim.stats with
+    | Some st ->
+        st.s_displays <- st.s_displays + 1;
+        Telemetry.Bus.publish Telemetry.bus
+          {
+            Telemetry.ev_cycle = ctx.sim.cycle;
+            ev_source = "simulator";
+            ev_kind = "display";
+            ev_data = [ ("text", text) ];
+          }
+    | None -> ());
     match ctx.sim.display_hook with
     | Some f -> f ctx.sim.cycle text
     | None -> ())
@@ -343,6 +380,7 @@ let compile_node tab = function
   | Ablock stmts -> Cblock (List.map (Compiled.compile_stmt tab) stmts)
 
 let create ?(kernel = Event_driven) (flat : flat) : t =
+  Telemetry.span "compile" @@ fun () ->
   let tab = Compiled.of_flat flat in
   let env = Compiled.fresh_env flat in
   let node_list =
@@ -393,14 +431,42 @@ let create ?(kernel = Event_driven) (flat : flat) : t =
         make_prim_state cp)
       flat.f_prims
   in
+  let stats =
+    if Telemetry.enabled () then
+      Some
+        {
+          s_steps = 0;
+          s_settles = 0;
+          s_node_rounds = 0;
+          s_nodes_evaluated = 0;
+          s_dirty_total = 0;
+          s_dirty_peak = 0;
+          s_nba_commits = 0;
+          s_prim_steps = 0;
+          s_displays = 0;
+          s_toggles = Array.make (Array.length flat.f_signal_order) 0;
+          s_settle_hist = Telemetry.Histogram.make "settle.nodes_evaluated";
+        }
+    else None
+  in
   let sim =
     { flat; tab; env; kernel; nodes; sens; display_nodes;
       dirty = Array.make n true; ndirty = n; notify = ignore; seq; prims;
-      cycle = 0; finished = false; log = []; display_hook = None }
+      cycle = 0; finished = false; log = []; log_len = 0;
+      log_memo = (0, []); display_hook = None; step_hooks = []; stats }
   in
-  (match kernel with
-  | Event_driven -> sim.notify <- mark_signal sim
-  | Brute_force -> ());
+  (* the notify wiring is decided once, here, so the disabled case runs
+     the exact pre-telemetry change path *)
+  (match (kernel, stats) with
+  | Event_driven, None -> sim.notify <- mark_signal sim
+  | Event_driven, Some st ->
+      sim.notify <-
+        (fun i ->
+          st.s_toggles.(i) <- st.s_toggles.(i) + 1;
+          mark_signal sim i)
+  | Brute_force, None -> ()
+  | Brute_force, Some st ->
+      sim.notify <- (fun i -> st.s_toggles.(i) <- st.s_toggles.(i) + 1));
   (* initial primitive outputs so the first settle sees them; every node
      starts dirty, so the first settle evaluates the full plan *)
   List.iter (drive_prim_outputs sim) prims;
@@ -418,23 +484,55 @@ let settle ?(displays = false) (sim : t) =
     { sim; pending = []; in_comb_phase = true; displays_enabled = displays }
   in
   match sim.kernel with
-  | Brute_force -> Array.iter (exec_node ctx) sim.nodes
-  | Event_driven ->
+  | Brute_force ->
+      (match sim.stats with
+      | None -> ()
+      | Some st ->
+          let n = Array.length sim.nodes in
+          st.s_settles <- st.s_settles + 1;
+          st.s_node_rounds <- st.s_node_rounds + n;
+          st.s_nodes_evaluated <- st.s_nodes_evaluated + n;
+          st.s_dirty_total <- st.s_dirty_total + n;
+          if n > st.s_dirty_peak then st.s_dirty_peak <- n;
+          Telemetry.Histogram.observe st.s_settle_hist n);
+      Array.iter (exec_node ctx) sim.nodes
+  | Event_driven -> (
       (* a $display must fire on every display-enabled settle its block
          is reached, exactly as in the full sweep, even when no input
          changed - force those nodes onto the dirty set *)
       if displays then List.iter (mark_rank sim) sim.display_nodes;
-      if sim.ndirty > 0 then
-        (* rank order = topological order, so every producer runs before
-           its consumers; a node marking an earlier-or-equal rank (a
-           self-dependency the cycle check admits) stays dirty for the
-           next settle, matching the once-per-sweep full plan *)
-        for r = 0 to Array.length sim.nodes - 1 do
-          if sim.dirty.(r) then (
-            sim.dirty.(r) <- false;
-            sim.ndirty <- sim.ndirty - 1;
-            exec_node ctx sim.nodes.(r))
-        done
+      (* rank order = topological order, so every producer runs before
+         its consumers; a node marking an earlier-or-equal rank (a
+         self-dependency the cycle check admits) stays dirty for the
+         next settle, matching the once-per-sweep full plan *)
+      match sim.stats with
+      | None ->
+          if sim.ndirty > 0 then
+            for r = 0 to Array.length sim.nodes - 1 do
+              if sim.dirty.(r) then (
+                sim.dirty.(r) <- false;
+                sim.ndirty <- sim.ndirty - 1;
+                exec_node ctx sim.nodes.(r))
+            done
+      | Some st ->
+          (* instrumented copy of the loop above: the disabled path must
+             not pay even a per-node counter increment *)
+          let n = Array.length sim.nodes in
+          st.s_settles <- st.s_settles + 1;
+          st.s_node_rounds <- st.s_node_rounds + n;
+          st.s_dirty_total <- st.s_dirty_total + sim.ndirty;
+          if sim.ndirty > st.s_dirty_peak then st.s_dirty_peak <- sim.ndirty;
+          let evaluated = ref 0 in
+          if sim.ndirty > 0 then
+            for r = 0 to n - 1 do
+              if sim.dirty.(r) then (
+                sim.dirty.(r) <- false;
+                sim.ndirty <- sim.ndirty - 1;
+                incr evaluated;
+                exec_node ctx sim.nodes.(r))
+            done;
+          st.s_nodes_evaluated <- st.s_nodes_evaluated + !evaluated;
+          Telemetry.Histogram.observe st.s_settle_hist !evaluated)
 
 (* Public accessors stay name-keyed: one id lookup per call, then array
    reads/writes. *)
@@ -496,6 +594,12 @@ let edge_phase (sim : t) (edge : Elaborate.clock_edge) ~with_prims =
     (fun (e, body) -> if e = edge then List.iter (exec_stmt ctx) body)
     sim.seq;
   if with_prims then List.iter (step_prim sim.env) sim.prims;
+  (match sim.stats with
+  | None -> ()
+  | Some st ->
+      st.s_nba_commits <- st.s_nba_commits + List.length ctx.pending;
+      if with_prims then
+        st.s_prim_steps <- st.s_prim_steps + List.length sim.prims);
   List.iter
     (Compiled.apply_write_notify sim.env ~notify:sim.notify)
     (List.rev ctx.pending);
@@ -506,6 +610,9 @@ let has_negedge (sim : t) =
 
 let step (sim : t) =
   if not sim.finished then (
+    let evaluated0 =
+      match sim.stats with Some st -> st.s_nodes_evaluated | None -> 0
+    in
     settle sim ~displays:false;
     (* rising edge: posedge blocks and the clocked IP primitives fire
        against the settled pre-edge state; displays use those values *)
@@ -516,7 +623,22 @@ let step (sim : t) =
       settle sim ~displays:false;
       edge_phase sim Elaborate.Neg ~with_prims:false);
     settle sim ~displays:true;
-    sim.cycle <- sim.cycle + 1)
+    let completed = sim.cycle in
+    sim.cycle <- completed + 1;
+    (match sim.stats with
+    | Some st ->
+        st.s_steps <- st.s_steps + 1;
+        Telemetry.Bus.publish Telemetry.bus
+          {
+            Telemetry.ev_cycle = completed;
+            ev_source = "simulator";
+            ev_kind = "step";
+            ev_data =
+              [ ("evaluated", string_of_int (st.s_nodes_evaluated - evaluated0)) ];
+          }
+    | None -> ());
+    if sim.step_hooks <> [] then
+      List.iter (fun f -> f completed) sim.step_hooks)
 
 let run sim n =
   let i = ref 0 in
@@ -525,10 +647,77 @@ let run sim n =
     incr i
   done
 
-let log sim = List.rev sim.log
+(* Entries accumulate by prepending (O(1) per $display); the oldest-first
+   view is materialized at most once per new entry and memoized, so a
+   caller polling [log] between displays never re-reverses. *)
+let log sim =
+  let len, memo = sim.log_memo in
+  if len = sim.log_len then memo
+  else (
+    let oldest_first = List.rev sim.log in
+    sim.log_memo <- (sim.log_len, oldest_first);
+    oldest_first)
+
 let cycle sim = sim.cycle
 let finished sim = sim.finished
 let on_display sim f = sim.display_hook <- Some f
+let on_step sim f = sim.step_hooks <- sim.step_hooks @ [ f ]
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry read-back                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  st_steps : int;
+  st_settles : int;
+  st_node_rounds : int;
+  st_nodes_evaluated : int;
+  st_nodes_skipped : int;
+  st_dirty_total : int;
+  st_dirty_peak : int;
+  st_nba_commits : int;
+  st_prim_steps : int;
+  st_displays : int;
+  st_settle_hist : Telemetry.Histogram.snapshot;
+}
+
+let stats sim =
+  Option.map
+    (fun st ->
+      {
+        st_steps = st.s_steps;
+        st_settles = st.s_settles;
+        st_node_rounds = st.s_node_rounds;
+        st_nodes_evaluated = st.s_nodes_evaluated;
+        st_nodes_skipped = st.s_node_rounds - st.s_nodes_evaluated;
+        st_dirty_total = st.s_dirty_total;
+        st_dirty_peak = st.s_dirty_peak;
+        st_nba_commits = st.s_nba_commits;
+        st_prim_steps = st.s_prim_steps;
+        st_displays = st.s_displays;
+        st_settle_hist = Telemetry.Histogram.snapshot st.s_settle_hist;
+      })
+    sim.stats
+
+let kernel_efficiency sim =
+  match sim.stats with
+  | Some st when st.s_node_rounds > 0 ->
+      Some (float_of_int st.s_nodes_evaluated /. float_of_int st.s_node_rounds)
+  | _ -> None
+
+let toggle_counts sim =
+  match sim.stats with
+  | None -> []
+  | Some st ->
+      Array.to_list
+        (Array.mapi (fun i n -> (sim.flat.f_signal_order.(i), n)) st.s_toggles)
+
+let hottest_signals ?(k = 10) sim =
+  toggle_counts sim
+  |> List.filter (fun (_, n) -> n > 0)
+  |> List.sort (fun (na, a) (nb, b) ->
+         match compare b a with 0 -> compare na nb | c -> c)
+  |> List.filteri (fun i _ -> i < k)
 
 (* ------------------------------------------------------------------ *)
 (* Checkpointing                                                       *)
@@ -621,5 +810,9 @@ let restore (sim : t) (snap : checkpoint) : unit =
   sim.cycle <- snap.cp_cycle;
   sim.finished <- snap.cp_finished;
   sim.log <- snap.cp_log;
+  sim.log_len <- List.length snap.cp_log;
+  (* invalidate the memo: a restored log of the same length as the
+     current one would otherwise serve the stale reversed view *)
+  sim.log_memo <- (-1, []);
   (* the whole environment may have changed: re-evaluate everything *)
   mark_all sim

@@ -75,9 +75,53 @@ val finished : t -> bool
 val on_display : t -> (int -> string -> unit) -> unit
 (** Install a hook called for every $display as it fires. *)
 
+val on_step : t -> (int -> unit) -> unit
+(** Register a hook called after every completed {!step} with the cycle
+    number just finished (0-based). Hooks run in registration order;
+    multiple hooks may be installed. Registering no hook keeps [step]
+    on its original path. *)
+
 val settle : ?displays:bool -> t -> unit
 (** Settle combinational logic without a clock edge (rarely needed
     directly; [step] calls it). *)
+
+(** {1 Telemetry}
+
+    Kernel-profiling counters, recorded only when the global
+    {!Fpga_telemetry.Telemetry} switch was on at {!create} time —
+    otherwise every accessor below reports nothing and the hot paths
+    carry no instrumentation at all. *)
+
+type stats = {
+  st_steps : int;  (** completed clock cycles *)
+  st_settles : int;  (** combinational settle passes *)
+  st_node_rounds : int;  (** settles × plan size: work a full sweep does *)
+  st_nodes_evaluated : int;  (** nodes actually re-evaluated *)
+  st_nodes_skipped : int;  (** [st_node_rounds - st_nodes_evaluated] *)
+  st_dirty_total : int;  (** sum of dirty-set sizes at settle entry *)
+  st_dirty_peak : int;  (** largest dirty set seen *)
+  st_nba_commits : int;  (** non-blocking writes committed *)
+  st_prim_steps : int;  (** primitive (FIFO/RAM) step invocations *)
+  st_displays : int;  (** $display statements fired *)
+  st_settle_hist : Fpga_telemetry.Telemetry.Histogram.snapshot;
+      (** distribution of nodes evaluated per settle *)
+}
+
+val stats : t -> stats option
+(** [None] when telemetry was disabled at construction. *)
+
+val kernel_efficiency : t -> float option
+(** [st_nodes_evaluated / st_node_rounds] — the fraction of full-sweep
+    work the event-driven kernel actually performed (1.0 for
+    {!Brute_force}). [None] when telemetry is off or nothing ran. *)
+
+val toggle_counts : t -> (string * int) list
+(** Per-signal change counts (every change-detected write that took
+    effect), in dense-id order; empty when telemetry is off. *)
+
+val hottest_signals : ?k:int -> t -> (string * int) list
+(** Top-[k] (default 10) most active signals by toggle count,
+    descending, ties by name. *)
 
 (** {1 Checkpointing}
 

@@ -1,0 +1,262 @@
+(* Telemetry core: counters / histograms / timing spans plus a bounded
+   ring-buffer event bus.
+
+   The whole module is gated on one global flag so that a disabled run
+   pays a single predictable branch per recording call and nothing
+   else: no allocation, no hashing, no clock reads. The bus implements
+   the paper's recording-IP semantics in software — fixed depth, most
+   recent entries retained, every overwritten entry counted — so
+   overflow shows up in the numbers (the Figure 2 buffer-size /
+   coverage tradeoff) instead of silently truncating history. *)
+
+let on = ref false
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false
+
+(* [Sys.time] keeps the library free of even the unix dependency; a
+   harness that wants wall time installs its own clock. *)
+let clock = ref Sys.time
+let set_clock f = clock := f
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Counter = struct
+  type t = { c_name : string; mutable c_value : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; c_value = 0 } in
+        Hashtbl.replace registry name c;
+        c
+
+  let bump c n = if !on then c.c_value <- c.c_value + n
+  let incr c = if !on then c.c_value <- c.c_value + 1
+  let value c = c.c_value
+  let name c = c.c_name
+  let reset_all () = Hashtbl.iter (fun _ c -> c.c_value <- 0) registry
+
+  let all () =
+    Hashtbl.fold (fun _ c acc -> (c.c_name, c.c_value) :: acc) registry []
+    |> List.sort compare
+end
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Histogram = struct
+  (* Power-of-two buckets: bucket [k] holds values in
+     (2^(k-1) - 1, 2^k - 1]; bucket 0 holds exactly 0. 63 buckets
+     cover the full non-negative int range. *)
+  let nbuckets = 63
+
+  type t = {
+    h_name : string;
+    mutable h_count : int;
+    mutable h_sum : int;
+    mutable h_min : int;
+    mutable h_max : int;
+    h_buckets : int array;
+  }
+
+  type snapshot = {
+    hs_name : string;
+    hs_count : int;
+    hs_sum : int;
+    hs_min : int;
+    hs_max : int;
+    hs_buckets : (int * int) list;
+  }
+
+  let make name =
+    {
+      h_name = name;
+      h_count = 0;
+      h_sum = 0;
+      h_min = 0;
+      h_max = 0;
+      h_buckets = Array.make nbuckets 0;
+    }
+
+  (* number of significant bits = the index of the smallest bucket
+     whose upper bound (2^k - 1) admits [v] *)
+  let bucket_index v =
+    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+    min (bits v 0) (nbuckets - 1)
+
+  let observe h v =
+    if !on then (
+      let v = max v 0 in
+      if h.h_count = 0 then (
+        h.h_min <- v;
+        h.h_max <- v)
+      else (
+        if v < h.h_min then h.h_min <- v;
+        if v > h.h_max then h.h_max <- v);
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum + v;
+      let k = bucket_index v in
+      h.h_buckets.(k) <- h.h_buckets.(k) + 1)
+
+  let snapshot h =
+    let buckets = ref [] in
+    for k = nbuckets - 1 downto 0 do
+      if h.h_buckets.(k) > 0 then
+        buckets := ((1 lsl k) - 1, h.h_buckets.(k)) :: !buckets
+    done;
+    {
+      hs_name = h.h_name;
+      hs_count = h.h_count;
+      hs_sum = h.h_sum;
+      hs_min = h.h_min;
+      hs_max = h.h_max;
+      hs_buckets = !buckets;
+    }
+
+  let clear h =
+    h.h_count <- 0;
+    h.h_sum <- 0;
+    h.h_min <- 0;
+    h.h_max <- 0;
+    Array.fill h.h_buckets 0 nbuckets 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Timing spans                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type span_rec = { mutable sp_count : int; mutable sp_total : float }
+
+let spans : (string, span_rec) Hashtbl.t = Hashtbl.create 16
+
+let span_rec name =
+  match Hashtbl.find_opt spans name with
+  | Some r -> r
+  | None ->
+      let r = { sp_count = 0; sp_total = 0.0 } in
+      Hashtbl.replace spans name r;
+      r
+
+let span name f =
+  if not !on then f ()
+  else (
+    let r = span_rec name in
+    let t0 = !clock () in
+    Fun.protect
+      ~finally:(fun () ->
+        r.sp_count <- r.sp_count + 1;
+        r.sp_total <- r.sp_total +. (!clock () -. t0))
+      f)
+
+let all_spans () =
+  Hashtbl.fold (fun n r acc -> (n, r.sp_count, r.sp_total) :: acc) spans []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Event bus                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type event = {
+  ev_cycle : int;
+  ev_source : string;
+  ev_kind : string;
+  ev_data : (string * string) list;
+}
+
+module Bus = struct
+  type t = {
+    mutable b_data : event option array;
+    mutable b_head : int;  (* index of the oldest retained entry *)
+    mutable b_len : int;
+    mutable b_published : int;
+    mutable b_dropped : int;
+  }
+
+  let create ?(depth = 8192) () =
+    if depth <= 0 then invalid_arg "Telemetry.Bus.create: depth must be > 0";
+    {
+      b_data = Array.make depth None;
+      b_head = 0;
+      b_len = 0;
+      b_published = 0;
+      b_dropped = 0;
+    }
+
+  let depth b = Array.length b.b_data
+
+  let clear b =
+    Array.fill b.b_data 0 (Array.length b.b_data) None;
+    b.b_head <- 0;
+    b.b_len <- 0;
+    b.b_published <- 0;
+    b.b_dropped <- 0
+
+  let set_depth b depth =
+    if depth <= 0 then invalid_arg "Telemetry.Bus.set_depth: depth must be > 0";
+    b.b_data <- Array.make depth None;
+    b.b_head <- 0;
+    b.b_len <- 0;
+    b.b_published <- 0;
+    b.b_dropped <- 0
+
+  let publish b e =
+    if !on then (
+      let d = Array.length b.b_data in
+      b.b_published <- b.b_published + 1;
+      if b.b_len < d then (
+        b.b_data.((b.b_head + b.b_len) mod d) <- Some e;
+        b.b_len <- b.b_len + 1)
+      else (
+        (* full: overwrite the oldest entry and account for the drop *)
+        b.b_data.(b.b_head) <- Some e;
+        b.b_head <- (b.b_head + 1) mod d;
+        b.b_dropped <- b.b_dropped + 1))
+
+  let events b =
+    let d = Array.length b.b_data in
+    List.init b.b_len (fun i ->
+        match b.b_data.((b.b_head + i) mod d) with
+        | Some e -> e
+        | None -> assert false)
+
+  let length b = b.b_len
+  let published b = b.b_published
+  let dropped b = b.b_dropped
+end
+
+let bus = Bus.create ()
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  r_counters : (string * int) list;
+  r_spans : (string * int * float) list;
+  r_bus_depth : int;
+  r_bus_published : int;
+  r_bus_dropped : int;
+  r_bus_retained : int;
+}
+
+let report () =
+  {
+    r_counters = Counter.all ();
+    r_spans = all_spans ();
+    r_bus_depth = Bus.depth bus;
+    r_bus_published = Bus.published bus;
+    r_bus_dropped = Bus.dropped bus;
+    r_bus_retained = Bus.length bus;
+  }
+
+let reset () =
+  Counter.reset_all ();
+  Hashtbl.reset spans;
+  Bus.clear bus

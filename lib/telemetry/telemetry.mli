@@ -1,0 +1,138 @@
+(** Simulation telemetry: counters, histograms, timing spans, and a
+    bounded event bus — the software analog of the paper's always-on
+    observability stack (recording IPs with fixed-depth buffers,
+    Statistics Monitor counters).
+
+    Everything is gated on one global switch, off by default. Every
+    recording entry point checks the switch with a single branch and
+    returns immediately when disabled, so an uninstrumented run pays
+    ~nothing. Producers therefore never need their own guards; they
+    just call {!Counter.bump}, {!Histogram.observe}, {!span},
+    {!Bus.publish} unconditionally.
+
+    The {!Bus} mirrors the recording-IP semantics of the paper's
+    SignalCat buffers (Figure 2): a fixed-depth ring that retains the
+    most recent entries and counts every entry it had to overwrite, so
+    overflow is observable instead of silent. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val set_clock : (unit -> float) -> unit
+(** Clock used by {!span}, in seconds. Defaults to [Sys.time] (CPU
+    seconds), keeping the library dependency-free; a harness that
+    prefers wall time can install [Unix.gettimeofday]. *)
+
+(** {1 Counters} *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Create-or-intern: the same name always yields the same counter,
+      so producers may call [make] at module initialization or lazily. *)
+
+  val bump : t -> int -> unit
+  (** No-op while telemetry is disabled. *)
+
+  val incr : t -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+(** {1 Histograms} — power-of-two buckets over non-negative ints. *)
+
+module Histogram : sig
+  type t
+
+  type snapshot = {
+    hs_name : string;
+    hs_count : int;
+    hs_sum : int;
+    hs_min : int;  (** 0 when empty *)
+    hs_max : int;
+    hs_buckets : (int * int) list;
+        (** (inclusive upper bound, count), non-empty buckets only;
+            bounds are [2^k - 1] *)
+  }
+
+  val make : string -> t
+  (** Histograms are plain values owned by their producer (a simulator
+      instance keeps its own), not interned globally. *)
+
+  val observe : t -> int -> unit
+  (** No-op while telemetry is disabled; negative values clamp to 0. *)
+
+  val snapshot : t -> snapshot
+  val clear : t -> unit
+end
+
+(** {1 Timing spans} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f], accumulating its duration and call count
+    under [name] when telemetry is enabled (exceptions still record).
+    When disabled it is a tail call to [f]. *)
+
+(** {1 Event bus} *)
+
+type event = {
+  ev_cycle : int;  (** simulation cycle, or -1 when not cycle-bound *)
+  ev_source : string;  (** e.g. ["simulator"], ["fsm_monitor"] *)
+  ev_kind : string;  (** e.g. ["step"], ["transition"], ["alarm"] *)
+  ev_data : (string * string) list;
+}
+
+module Bus : sig
+  type t
+
+  val create : ?depth:int -> unit -> t
+  (** Fixed-depth ring buffer, default depth 8192 (the paper testbed's
+      default recording-buffer depth). *)
+
+  val depth : t -> int
+
+  val set_depth : t -> int -> unit
+  (** Re-size and clear — the [--buffer] knob of the profile command. *)
+
+  val publish : t -> event -> unit
+  (** No-op while telemetry is disabled. On a full ring the oldest
+      entry is overwritten and counted as dropped. *)
+
+  val events : t -> event list
+  (** Retained events, oldest first (at most [depth]). *)
+
+  val length : t -> int
+
+  val published : t -> int
+  (** Total events offered since the last [clear]. *)
+
+  val dropped : t -> int
+  (** Entries overwritten because the ring was full — the overflow
+      accounting a bounded recording IP must surface. *)
+
+  val clear : t -> unit
+end
+
+val bus : Bus.t
+(** The global default bus every instrumented layer publishes to. *)
+
+(** {1 Reporting} *)
+
+type report = {
+  r_counters : (string * int) list;  (** sorted by name *)
+  r_spans : (string * int * float) list;
+      (** (name, calls, total seconds), sorted by name *)
+  r_bus_depth : int;
+  r_bus_published : int;
+  r_bus_dropped : int;
+  r_bus_retained : int;
+}
+
+val report : unit -> report
+(** Snapshot of the global registries and the global bus. *)
+
+val reset : unit -> unit
+(** Zero all counters and spans and clear the global bus. Does not
+    change the enabled flag, the bus depth, or the clock. *)

@@ -10,4 +10,5 @@ let () =
       ("study", Test_study.suite);
       ("testbed", Test_testbed.suite);
       ("report", Test_report.suite);
+      ("telemetry", Test_telemetry.suite);
     ]
