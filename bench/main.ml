@@ -279,9 +279,53 @@ let telemetry_overhead_benches () =
       else None)
     (bench_designs ())
 
-let json_of_results results bits lookup telem overheads =
+(* Campaign throughput: the full Table 2 repro set executed on a
+   domain pool of growing width. jobs/sec and cycles/sec are the
+   headline numbers; utilization shows how evenly the queue drained.
+   Speedup is relative to the 1-domain (inline, spawn-free) run, so on
+   a single-core container it can legitimately sit at or below 1.0 —
+   the metric is recorded but deliberately kept out of the warn-only
+   baseline comparison because it is machine-dependent. *)
+type campaign_bench = {
+  cb_domains : int;
+  cb_wall : float;
+  cb_jobs_per_sec : float;
+  cb_cycles_per_sec : float;
+  cb_utilization : float;
+  cb_speedup : float;
+}
+
+let campaign_benches () =
+  let open Fpga_campaign.Campaign in
+  let bugs = Registry.all in
+  let run_at domains =
+    (* best of three: the first pass also warms the minor heap *)
+    let best = ref (run ~domains bugs) in
+    for _ = 1 to 2 do
+      let c = run ~domains bugs in
+      if c.c_stats.ps_wall < !best.c_stats.ps_wall then best := c
+    done;
+    !best
+  in
+  let serial = run_at 1 in
+  let serial_wall = serial.c_stats.ps_wall in
+  List.map
+    (fun domains ->
+      let c = if domains = 1 then serial else run_at domains in
+      let wall = c.c_stats.ps_wall in
+      {
+        cb_domains = domains;
+        cb_wall = wall;
+        cb_jobs_per_sec = float_of_int c.c_stats.ps_jobs /. wall;
+        cb_cycles_per_sec = float_of_int c.c_cycles /. wall;
+        cb_utilization = c.c_stats.ps_utilization;
+        cb_speedup = serial_wall /. wall;
+      })
+    [ 1; 2; 4 ]
+
+let json_of_results results bits lookup telem overheads campaigns =
   let buf = Buffer.create 2048 in
-  Buffer.add_string buf "{\n  \"schema\": \"fpga-debug-bench/3\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"fpga-debug-bench/4\",\n";
   Buffer.add_string buf "  \"designs\": [\n";
   List.iteri
     (fun i r ->
@@ -334,6 +378,21 @@ let json_of_results results bits lookup telem overheads =
            o.to_design o.to_cps_off o.to_cps_on o.to_overhead_pct
            (if i = List.length overheads - 1 then "" else ",")))
     overheads;
+  (* campaign entries are keyed on "domains" — like the telemetry
+     sections they stay invisible to the baseline scanner, because
+     pool speedup depends on the machine's core count *)
+  Buffer.add_string buf "  ],\n  \"campaign\": [\n";
+  List.iteri
+    (fun i c ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"domains\": %d, \"wall_seconds\": %.4f, \"jobs_per_sec\": \
+            %.1f, \"cycles_per_sec\": %.1f, \"pool_utilization\": %.3f, \
+            \"speedup\": %.2f}%s\n"
+           c.cb_domains c.cb_wall c.cb_jobs_per_sec c.cb_cycles_per_sec
+           c.cb_utilization c.cb_speedup
+           (if i = List.length campaigns - 1 then "" else ",")))
+    campaigns;
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
 
@@ -438,7 +497,8 @@ let run_json_bench path baseline =
   let lookup = signal_lookup_bench () in
   let telem = telemetry_benches () in
   let overheads = telemetry_overhead_benches () in
-  let json = json_of_results results bits lookup telem overheads in
+  let campaigns = campaign_benches () in
+  let json = json_of_results results bits lookup telem overheads campaigns in
   let oc = open_out path in
   output_string oc json;
   close_out oc;
@@ -475,6 +535,14 @@ let run_json_bench path baseline =
       Printf.printf "%-8s %16.1f %16.1f %9.1f%%\n" o.to_design o.to_cps_off
         o.to_cps_on o.to_overhead_pct)
     overheads;
+  Printf.printf "\n%-8s %10s %10s %14s %12s %9s\n" "domains" "wall s"
+    "jobs/s" "cycles/s" "util" "speedup";
+  List.iter
+    (fun c ->
+      Printf.printf "%-8d %10.4f %10.1f %14.1f %11.1f%% %8.2fx\n" c.cb_domains
+        c.cb_wall c.cb_jobs_per_sec c.cb_cycles_per_sec
+        (100.0 *. c.cb_utilization) c.cb_speedup)
+    campaigns;
   Printf.printf "\nwrote %s\n" path;
   match baseline with
   | None -> ()

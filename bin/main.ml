@@ -648,6 +648,78 @@ let export_cmd =
   in
   Cmd.v (Cmd.info "export" ~doc) Term.(const run $ dir_arg)
 
+(* --- campaign ------------------------------------------------------- *)
+
+let campaign_cmd =
+  let doc =
+    "Run a batch simulation campaign over the testbed on a pool of \
+     domains: differential reproduction of every selected bug (with \
+     waveform capture), optional event-vs-brute kernel differentials, \
+     and optional cycle-budget sweeps. Results are collected in job \
+     order and are identical to a serial run."
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Worker domains (default: the machine's recommended count)")
+  in
+  let bugs_arg =
+    Arg.(value & opt (some string) None
+         & info [ "bugs" ] ~docv:"LIST"
+             ~doc:"Comma-separated bug ids (default: all 20 Table 2 bugs)")
+  in
+  let differential_arg =
+    Arg.(value & flag
+         & info [ "differential" ]
+             ~doc:"Also run event-vs-brute kernel differential jobs")
+  in
+  let sweep_arg =
+    Arg.(value & opt (some string) None
+         & info [ "sweep" ] ~docv:"LIST"
+             ~doc:"Comma-separated cycle budgets; one sweep job per \
+                   (bug, budget)")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the fpga-debug-campaign/1 JSON report")
+  in
+  let run jobs bugs differential sweep json =
+    let bugs =
+      match bugs with
+      | None -> Registry.all
+      | Some list -> (
+          let ids = String.split_on_char ',' list |> List.map String.trim in
+          match Registry.find_many ids with
+          | found, [] -> found
+          | _, unknown ->
+              Printf.eprintf "unknown bug id%s: %s\n"
+                (if List.length unknown = 1 then "" else "s")
+                (String.concat ", " unknown);
+              exit 1)
+    in
+    let sweeps =
+      match sweep with
+      | None -> []
+      | Some list ->
+          String.split_on_char ',' list |> List.map String.trim
+          |> List.map int_of_string
+    in
+    let c = Fpga_campaign.Campaign.run ?domains:jobs ~differential ~sweeps bugs in
+    Fpga_campaign.Campaign.print c;
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Fpga_campaign.Campaign.to_json c);
+        close_out oc;
+        Printf.printf "\nwrote %s\n" path);
+    if not (Fpga_campaign.Campaign.ok c) then exit 1
+  in
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(const run $ jobs_arg $ bugs_arg $ differential_arg $ sweep_arg
+          $ json_arg)
+
 (* --- report --------------------------------------------------------- *)
 
 let report_cmd =
@@ -693,5 +765,5 @@ let () =
           [
             list_cmd; repro_cmd; fsm_cmd; stats_cmd; deps_cmd; losscheck_cmd;
             instrument_cmd; vcd_cmd; profile_cmd; lint_cmd; wavediff_cmd;
-            snippets_cmd; export_cmd; sim_cmd; report_cmd;
+            snippets_cmd; export_cmd; sim_cmd; report_cmd; campaign_cmd;
           ]))

@@ -1,0 +1,388 @@
+(* Campaign engine: a work-queue + Domain-pool executor for batches of
+   independent simulation jobs (every testbed bug, parameter sweeps,
+   event-vs-brute differential pairs).
+
+   The execution model is a single shared queue drained by N domains:
+   a job index is claimed with [Atomic.fetch_and_add], the job runs on
+   whichever domain claimed it, and its result is slotted into a
+   results array at the job's own index. Slot writes are disjoint by
+   construction and [Domain.join] establishes the happens-before edge
+   that makes them visible to the collector, so result order is the
+   submission order no matter how the pool interleaved the work -
+   the determinism guarantee the campaign tests pin down.
+
+   Jobs must be self-contained closures: they share no mutable state
+   with each other, and the telemetry they record lands in per-domain
+   sinks (see Fpga_telemetry) that the pool merges at join. *)
+
+module Bug = Fpga_testbed.Bug
+module Registry = Fpga_testbed.Registry
+module Simulator = Fpga_sim.Simulator
+module Taxonomy = Fpga_study.Taxonomy
+module Telemetry = Fpga_telemetry.Telemetry
+
+(* ------------------------------------------------------------------ *)
+(* Generic domain pool                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type 'a job = { label : string; work : unit -> 'a }
+
+type 'a job_result = {
+  jr_id : int;  (* submission index; results arrays are ordered by it *)
+  jr_label : string;
+  jr_wall : float;  (* seconds spent executing the job body *)
+  jr_domain : int;  (* 0-based index of the worker that ran it *)
+  jr_value : ('a, string) result;  (* Error carries the exception text *)
+}
+
+type pool_stats = {
+  ps_domains : int;
+  ps_jobs : int;
+  ps_wall : float;  (* submission to last join *)
+  ps_busy : float array;  (* per-worker seconds spent inside job bodies *)
+  ps_utilization : float;  (* sum busy / (domains * wall), 0 when idle *)
+  ps_telemetry : Telemetry.report;  (* merged across all worker sinks *)
+}
+
+let now = Unix.gettimeofday
+
+(* Run every job from the shared queue on [domains] workers (default
+   [Domain.recommended_domain_count ()], min 1). [domains <= 1] runs
+   the whole batch inline on the calling domain - same code path, no
+   spawns - which is also the serial reference the determinism tests
+   compare against. A raising job is caught and reported as [Error];
+   it never takes down the pool or skips the remaining queue. *)
+let run_pool ?domains (jobs : 'a job array) :
+    'a job_result array * pool_stats =
+  let n = Array.length jobs in
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  let domains = min domains (max 1 n) in
+  let results : 'a job_result option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let t0 = now () in
+  (* Each worker drains the queue and accounts its own busy time and
+     telemetry; slot [i] of [results] is written by exactly the worker
+     that claimed index [i]. *)
+  let worker wid () =
+    let busy = ref 0.0 in
+    let rec drain () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then (
+        let job = jobs.(i) in
+        let jt0 = now () in
+        let value =
+          try Ok (job.work ())
+          with e -> Error (Printexc.to_string e)
+        in
+        let wall = now () -. jt0 in
+        busy := !busy +. wall;
+        results.(i) <-
+          Some
+            {
+              jr_id = i;
+              jr_label = job.label;
+              jr_wall = wall;
+              jr_domain = wid;
+              jr_value = value;
+            };
+        drain ())
+    in
+    drain ();
+    (!busy, Telemetry.report ())
+  in
+  let per_worker =
+    if domains <= 1 then [| worker 0 () |]
+    else (
+      (* the caller's sink keeps whatever it already holds; workers
+         start from empty sinks (inheriting only the on/off switch and
+         sampling knob) so the merge below is purely the campaign's *)
+      let handles =
+        Array.init domains (fun wid -> Domain.spawn (worker wid))
+      in
+      Array.map Domain.join handles)
+  in
+  let wall = now () -. t0 in
+  let busy = Array.map fst per_worker in
+  let telemetry =
+    Array.fold_left
+      (fun acc (_, r) -> Telemetry.merge acc r)
+      Telemetry.empty_report per_worker
+  in
+  let total_busy = Array.fold_left ( +. ) 0.0 busy in
+  let stats =
+    {
+      ps_domains = domains;
+      ps_jobs = n;
+      ps_wall = wall;
+      ps_busy = busy;
+      ps_utilization =
+        (if wall > 0.0 && n > 0 then
+           total_busy /. (float_of_int domains *. wall)
+         else 0.0);
+      ps_telemetry = telemetry;
+    }
+  in
+  let results =
+    Array.map
+      (function
+        | Some r -> r
+        | None -> assert false (* every index < n was claimed *))
+      results
+  in
+  (results, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Testbed jobs                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* What a campaign job observed, uniformly across job kinds so the
+   report and the determinism tests can compare serial and parallel
+   runs field by field. *)
+type verdict = {
+  v_bug : string;
+  v_kind : string;  (* "repro" | "differential" | "sweep:<cycles>" *)
+  v_cycles : int;  (* cycles actually simulated, all runs summed *)
+  v_ok : bool;
+  v_detail : string;
+  v_symptoms : string list;
+  v_log : (int * string) list;  (* buggy-run $display log *)
+  v_vcd : string option;  (* buggy-run waveform (repro jobs) *)
+}
+
+(* Differential reproduction of one bug, with a waveform captured on
+   the buggy side: ok = every Table 2 symptom manifests. *)
+let repro_job (bug : Bug.t) : verdict job =
+  {
+    label = Printf.sprintf "repro:%s" bug.Bug.id;
+    work =
+      (fun () ->
+        let buggy =
+          Bug.run_design ~vcd:true bug (Bug.design_of bug ~buggy:true)
+        in
+        let fixed = Bug.run_design bug (Bug.design_of bug ~buggy:false) in
+        let symptoms = Bug.symptoms_of ~buggy ~fixed in
+        let ok = Bug.reproduces_of ~bug ~buggy ~fixed in
+        {
+          v_bug = bug.Bug.id;
+          v_kind = "repro";
+          v_cycles = buggy.Bug.cycles + fixed.Bug.cycles;
+          v_ok = ok;
+          v_detail =
+            Printf.sprintf "%d rows buggy, %d rows fixed"
+              (List.length buggy.Bug.rows)
+              (List.length fixed.Bug.rows);
+          v_symptoms = List.map Taxonomy.symptom_name symptoms;
+          v_log = buggy.Bug.log;
+          v_vcd = buggy.Bug.vcd;
+        });
+  }
+
+(* Event-driven vs brute-force settle kernels over the buggy design:
+   ok = observationally identical reports. *)
+let differential_job (bug : Bug.t) : verdict job =
+  {
+    label = Printf.sprintf "differential:%s" bug.Bug.id;
+    work =
+      (fun () ->
+        let design = Bug.design_of bug ~buggy:true in
+        let ev = Bug.run_design ~kernel:Simulator.Event_driven bug design in
+        let bf = Bug.run_design ~kernel:Simulator.Brute_force bug design in
+        let agree =
+          ev.Bug.log = bf.Bug.log
+          && ev.Bug.rows = bf.Bug.rows
+          && ev.Bug.stuck = bf.Bug.stuck
+          && ev.Bug.finished = bf.Bug.finished
+          && ev.Bug.cycles = bf.Bug.cycles
+        in
+        {
+          v_bug = bug.Bug.id;
+          v_kind = "differential";
+          v_cycles = ev.Bug.cycles + bf.Bug.cycles;
+          v_ok = agree;
+          v_detail =
+            (if agree then "kernels agree"
+             else "event and brute-force kernels diverge");
+          v_symptoms = [];
+          v_log = ev.Bug.log;
+          v_vcd = None;
+        });
+  }
+
+(* Buggy run under a non-default cycle budget - the parameter-sweep
+   axis of the campaign. *)
+let sweep_job ~cycles (bug : Bug.t) : verdict job =
+  {
+    label = Printf.sprintf "sweep:%s:%d" bug.Bug.id cycles;
+    work =
+      (fun () ->
+        let r =
+          Bug.run_design ~max_cycles:cycles bug (Bug.design_of bug ~buggy:true)
+        in
+        {
+          v_bug = bug.Bug.id;
+          v_kind = Printf.sprintf "sweep:%d" cycles;
+          v_cycles = r.Bug.cycles;
+          v_ok = true;
+          v_detail =
+            Printf.sprintf "%d rows in %d cycles%s" (List.length r.Bug.rows)
+              r.Bug.cycles
+              (if r.Bug.stuck then ", stuck" else "");
+          v_symptoms = [];
+          v_log = r.Bug.log;
+          v_vcd = None;
+        });
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Campaign = job list + pool run + aggregates                         *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  c_results : verdict job_result array;  (* ordered by job id *)
+  c_stats : pool_stats;
+  c_cycles : int;  (* simulated cycles across all jobs *)
+}
+
+let jobs_of ?(differential = false) ?(sweeps = []) (bugs : Bug.t list) :
+    verdict job array =
+  let repro = List.map repro_job bugs in
+  let diff = if differential then List.map differential_job bugs else [] in
+  let sweep =
+    List.concat_map (fun c -> List.map (sweep_job ~cycles:c) bugs) sweeps
+  in
+  Array.of_list (repro @ diff @ sweep)
+
+let run ?domains ?differential ?sweeps (bugs : Bug.t list) : t =
+  let jobs = jobs_of ?differential ?sweeps bugs in
+  let results, stats = run_pool ?domains jobs in
+  let cycles =
+    Array.fold_left
+      (fun acc r ->
+        match r.jr_value with Ok v -> acc + v.v_cycles | Error _ -> acc)
+      0 results
+  in
+  { c_results = results; c_stats = stats; c_cycles = cycles }
+
+let ok (c : t) =
+  Array.for_all
+    (fun r -> match r.jr_value with Ok v -> v.v_ok | Error _ -> false)
+    c.c_results
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Schema-pinned machine-readable report. Waveforms are summarized as
+   (length, MD5) rather than inlined: enough for byte-identity checks
+   across runs without multi-megabyte reports. *)
+let to_json (c : t) : string =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n  \"schema\": \"fpga-debug-campaign/1\",\n";
+  add "  \"domains\": %d,\n" c.c_stats.ps_domains;
+  add "  \"jobs\": [\n";
+  let njobs = Array.length c.c_results in
+  Array.iteri
+    (fun i r ->
+      add "    {\"id\": %d, \"label\": %S, \"domain\": %d, \"wall\": %.6f, "
+        r.jr_id r.jr_label r.jr_domain r.jr_wall;
+      (match r.jr_value with
+      | Error e -> add "\"error\": \"%s\"" (json_escape e)
+      | Ok v ->
+          add "\"bug\": %S, \"kind\": %S, \"ok\": %b, \"cycles\": %d, "
+            v.v_bug v.v_kind v.v_ok v.v_cycles;
+          add "\"symptoms\": [%s], "
+            (String.concat ", "
+               (List.map (fun s -> Printf.sprintf "%S" s) v.v_symptoms));
+          add "\"log_lines\": %d, " (List.length v.v_log);
+          (match v.v_vcd with
+          | Some vcd ->
+              add "\"vcd_bytes\": %d, \"vcd_md5\": %S" (String.length vcd)
+                (Digest.to_hex (Digest.string vcd))
+          | None -> add "\"vcd_bytes\": 0, \"vcd_md5\": \"\"");
+          add ", \"detail\": \"%s\"" (json_escape v.v_detail));
+      add "}%s\n" (if i = njobs - 1 then "" else ","))
+    c.c_results;
+  add "  ],\n";
+  let failed =
+    Array.fold_left
+      (fun acc r ->
+        acc
+        + match r.jr_value with Ok v when v.v_ok -> 0 | _ -> 1)
+      0 c.c_results
+  in
+  add "  \"aggregate\": {\n";
+  add "    \"jobs\": %d, \"failed\": %d,\n" njobs failed;
+  add "    \"wall_seconds\": %.6f,\n" c.c_stats.ps_wall;
+  add "    \"jobs_per_sec\": %.2f,\n"
+    (if c.c_stats.ps_wall > 0.0 then
+       float_of_int njobs /. c.c_stats.ps_wall
+     else 0.0);
+  add "    \"cycles\": %d,\n" c.c_cycles;
+  add "    \"cycles_per_sec\": %.1f,\n"
+    (if c.c_stats.ps_wall > 0.0 then
+       float_of_int c.c_cycles /. c.c_stats.ps_wall
+     else 0.0);
+  add "    \"busy_seconds\": [%s],\n"
+    (String.concat ", "
+       (Array.to_list
+          (Array.map (Printf.sprintf "%.6f") c.c_stats.ps_busy)));
+  add "    \"pool_utilization\": %.4f\n" c.c_stats.ps_utilization;
+  add "  },\n";
+  let tel = c.c_stats.ps_telemetry in
+  add "  \"telemetry\": {\"counters\": %d, \"bus_published\": %d, \
+       \"bus_dropped\": %d}\n"
+    (List.length tel.Telemetry.r_counters)
+    tel.Telemetry.r_bus_published tel.Telemetry.r_bus_dropped;
+  add "}\n";
+  Buffer.contents buf
+
+let print (c : t) =
+  Printf.printf "campaign: %d jobs on %d domain%s\n\n"
+    (Array.length c.c_results) c.c_stats.ps_domains
+    (if c.c_stats.ps_domains = 1 then "" else "s");
+  Printf.printf "  %-20s %-6s %8s  %s\n" "job" "ok" "wall(s)" "detail";
+  Array.iter
+    (fun r ->
+      match r.jr_value with
+      | Ok v ->
+          Printf.printf "  %-20s %-6s %8.3f  %s%s\n" r.jr_label
+            (if v.v_ok then "ok" else "FAIL")
+            r.jr_wall v.v_detail
+            (match v.v_symptoms with
+            | [] -> ""
+            | ss -> Printf.sprintf " [%s]" (String.concat ", " ss))
+      | Error e ->
+          Printf.printf "  %-20s %-6s %8.3f  error: %s\n" r.jr_label "ERROR"
+            r.jr_wall e)
+    c.c_results;
+  Printf.printf
+    "\n  %d cycles in %.3f s (%.0f cycles/s, %.2f jobs/s), pool \
+     utilization %.0f%%\n"
+    c.c_cycles c.c_stats.ps_wall
+    (if c.c_stats.ps_wall > 0.0 then
+       float_of_int c.c_cycles /. c.c_stats.ps_wall
+     else 0.0)
+    (if c.c_stats.ps_wall > 0.0 then
+       float_of_int (Array.length c.c_results) /. c.c_stats.ps_wall
+     else 0.0)
+    (100.0 *. c.c_stats.ps_utilization)

@@ -1,0 +1,104 @@
+(** Campaign engine: batch execution of independent simulation jobs on
+    a pool of OCaml domains.
+
+    The paper's evaluation (§6) repeatedly runs the whole 20-bug
+    testbed end to end; this module turns that from a latency chain
+    into a throughput workload. A single shared queue is drained by N
+    domains, each job's result is slotted into a results array at its
+    submission index, and [Domain.join] makes the disjoint slot writes
+    visible to the collector — so collected results are ordered by job
+    id and byte-identical to a serial run regardless of scheduling
+    (see the campaign determinism tests).
+
+    Jobs must be self-contained: they share no mutable state, and any
+    telemetry they record lands in per-domain sinks
+    ({!Fpga_telemetry.Telemetry}) that the pool merges at join. *)
+
+(** {1 Generic pool} *)
+
+type 'a job = { label : string; work : unit -> 'a }
+
+type 'a job_result = {
+  jr_id : int;  (** submission index; result arrays are ordered by it *)
+  jr_label : string;
+  jr_wall : float;  (** seconds spent in the job body *)
+  jr_domain : int;  (** 0-based worker that ran it *)
+  jr_value : ('a, string) result;
+      (** [Error] carries the exception text of a raising job *)
+}
+
+type pool_stats = {
+  ps_domains : int;
+  ps_jobs : int;
+  ps_wall : float;  (** submission to last join *)
+  ps_busy : float array;  (** per-worker seconds inside job bodies *)
+  ps_utilization : float;  (** total busy / (domains × wall) *)
+  ps_telemetry : Fpga_telemetry.Telemetry.report;
+      (** merged across all worker sinks *)
+}
+
+val run_pool :
+  ?domains:int -> 'a job array -> 'a job_result array * pool_stats
+(** Execute every job; results are ordered by submission index.
+    [domains] defaults to [Domain.recommended_domain_count ()]; a
+    value [<= 1] (or a single job) runs inline on the calling domain
+    with no spawns. A raising job becomes an [Error] result and never
+    takes down the pool. *)
+
+(** {1 Testbed jobs} *)
+
+type verdict = {
+  v_bug : string;
+  v_kind : string;  (** ["repro"], ["differential"], or ["sweep:<n>"] *)
+  v_cycles : int;  (** simulated cycles, all runs of the job summed *)
+  v_ok : bool;
+  v_detail : string;
+  v_symptoms : string list;  (** observed symptom names (repro jobs) *)
+  v_log : (int * string) list;  (** buggy-run $display log *)
+  v_vcd : string option;  (** buggy-run waveform (repro jobs) *)
+}
+
+val repro_job : Fpga_testbed.Bug.t -> verdict job
+(** Differential buggy-vs-fixed reproduction with a VCD captured on
+    the buggy side; ok when every Table 2 symptom manifests. *)
+
+val differential_job : Fpga_testbed.Bug.t -> verdict job
+(** Event-driven vs brute-force kernels over the buggy design; ok when
+    the two reports are observationally identical. *)
+
+val sweep_job : cycles:int -> Fpga_testbed.Bug.t -> verdict job
+(** Buggy run under a non-default cycle budget. *)
+
+(** {1 Campaign} *)
+
+type t = {
+  c_results : verdict job_result array;  (** ordered by job id *)
+  c_stats : pool_stats;
+  c_cycles : int;  (** simulated cycles across all jobs *)
+}
+
+val jobs_of :
+  ?differential:bool ->
+  ?sweeps:int list ->
+  Fpga_testbed.Bug.t list ->
+  verdict job array
+(** Repro jobs for every bug, plus kernel-differential pairs when
+    [differential], plus one sweep job per (bug, cycle budget) in
+    [sweeps]. *)
+
+val run :
+  ?domains:int ->
+  ?differential:bool ->
+  ?sweeps:int list ->
+  Fpga_testbed.Bug.t list ->
+  t
+
+val ok : t -> bool
+(** Every job completed with [v_ok]. *)
+
+val to_json : t -> string
+(** Schema [fpga-debug-campaign/1]: per-job wall time, worker, verdict
+    (waveforms summarized as length + MD5), plus aggregate throughput,
+    per-worker busy time, pool utilization, and merged telemetry. *)
+
+val print : t -> unit

@@ -171,7 +171,7 @@ let updates (_p : plan) (log : (int * string) list) : update list =
     List.iter
       (fun u ->
         Telemetry.Counter.incr updates_counter;
-        Telemetry.Bus.publish Telemetry.bus
+        Telemetry.Bus.publish (Telemetry.bus ())
           {
             Telemetry.ev_cycle = u.cycle;
             ev_source = "dep_monitor";

@@ -149,7 +149,7 @@ let transitions (t : t) (log : (int * string) list) : transition list =
     List.iter
       (fun tr ->
         Telemetry.Counter.incr transitions_counter;
-        Telemetry.Bus.publish Telemetry.bus
+        Telemetry.Bus.publish (Telemetry.bus ())
           {
             Telemetry.ev_cycle = tr.cycle;
             ev_source = "fsm_monitor";

@@ -594,7 +594,7 @@ let alarms (log : (int * string) list) : (int * string) list =
     List.iter
       (fun (cycle, reg) ->
         Telemetry.Counter.incr alarms_counter;
-        Telemetry.Bus.publish Telemetry.bus
+        Telemetry.Bus.publish (Telemetry.bus ())
           {
             Telemetry.ev_cycle = cycle;
             ev_source = "losscheck";

@@ -359,7 +359,7 @@ let reconstruct (plan : plan) (sim : Simulator.t) : (int * string) list =
     if Telemetry.enabled () then
       List.iter
         (fun (cycle, text) ->
-          Telemetry.Bus.publish Telemetry.bus
+          Telemetry.Bus.publish (Telemetry.bus ())
             {
               Telemetry.ev_cycle = cycle;
               ev_source = "signalcat";

@@ -77,7 +77,7 @@ let counts (t : t) (sim : Fpga_sim.Simulator.t) : (string * int) list =
   if Telemetry.enabled () then
     List.iter
       (fun (name, v) ->
-        Telemetry.Bus.publish Telemetry.bus
+        Telemetry.Bus.publish (Telemetry.bus ())
           {
             Telemetry.ev_cycle = Fpga_sim.Simulator.cycle sim;
             ev_source = "stat_monitor";

@@ -30,12 +30,18 @@ let kernel_name = function
 let run ?(kernel = Simulator.Event_driven) ?(cycles = 200) ?(buffer = 8192)
     ?(top_k = 10) (bug : Bug.t) : t =
   let was_enabled = Telemetry.enabled () in
+  let old_sample = Telemetry.step_sample () in
   Telemetry.enable ();
+  (* profiling wants the per-cycle step-event firehose so bus drop
+     accounting reflects every cycle, not one sample per window *)
+  Telemetry.set_step_sample 1;
   Telemetry.reset ();
-  Telemetry.Bus.set_depth Telemetry.bus buffer;
-  (* restore only the flag: the collected run stays readable afterwards *)
+  Telemetry.Bus.set_depth (Telemetry.bus ()) buffer;
+  (* restore only the knobs: the collected run stays readable afterwards *)
   Fun.protect
-    ~finally:(fun () -> if not was_enabled then Telemetry.disable ())
+    ~finally:(fun () ->
+      Telemetry.set_step_sample old_sample;
+      if not was_enabled then Telemetry.disable ())
   @@ fun () ->
   let design =
     Telemetry.span "parse" (fun () -> Bug.design_of bug ~buggy:true)

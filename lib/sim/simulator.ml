@@ -39,6 +39,28 @@ exception Combinational_cycle of string list
 
 type kernel = Event_driven | Brute_force
 
+(* The event-driven kernel's adaptive execution mode. [Sparse] is the
+   dirty-set schedule. On designs where nearly every node fires every
+   cycle (a fully-active pipeline like D8), the dirty-set bookkeeping
+   costs more than the evaluations it saves, so the kernel falls back
+   to [Dense]: a rank-ordered full scan with no flag reads or clears -
+   exactly the brute-force sweep, but it keeps counting how many writes
+   actually change a value so it can switch back when activity drops.
+   Transitions are hysteretic (a streak of consecutive settles must
+   agree) and depend only on dirty/changed counts, so instrumented and
+   uninstrumented runs take identical mode trajectories. *)
+type mode = Sparse | Dense
+
+(* enter Dense when a sparse settle ends up evaluating >= 3/4 of the
+   plan anyway (cascades included), leave when <= 1/4 of a dense
+   sweep's evaluations change anything; 8 consecutive settles either
+   way *)
+let dense_enter_num = 3
+let dense_enter_den = 4
+let dense_exit_num = 1
+let dense_exit_den = 4
+let mode_streak_len = 8
+
 (* AST-level node, used only for dependency analysis (reads/writes are
    name sets); execution uses the compiled [comb_node] form. *)
 type ast_node = Aassign of Ast.lvalue * Ast.expr | Ablock of Ast.stmt list
@@ -85,6 +107,11 @@ type istats = {
   mutable s_displays : int;
   s_toggles : int array;  (* per-signal change counts, by dense id *)
   s_settle_hist : Telemetry.Histogram.t;  (* nodes evaluated per settle *)
+  (* step-event sampling: one aggregated bus event per [s_sample_every]
+     cycles instead of one per cycle; totals stay exact *)
+  s_sample_every : int;
+  mutable s_cycles_in_window : int;
+  mutable s_evaluated_mark : int;  (* s_nodes_evaluated at last publish *)
 }
 
 type t = {
@@ -97,6 +124,9 @@ type t = {
   display_nodes : int list;  (* ranks of nodes containing $display *)
   dirty : bool array;  (* per-rank pending-re-evaluation flag *)
   mutable ndirty : int;
+  mutable mode : mode;  (* event-driven only; brute force ignores it *)
+  mutable mode_streak : int;  (* consecutive settles meeting the switch test *)
+  mutable nchanges : int;  (* value-changing writes during a dense sweep *)
   mutable notify : int -> unit;  (* change callback wired to [mark_signal] *)
   seq : (Elaborate.clock_edge * Compiled.cstmt list) list;
   prims : prim_state list;
@@ -121,11 +151,49 @@ let mark_rank sim r =
     sim.dirty.(r) <- true;
     sim.ndirty <- sim.ndirty + 1)
 
-let mark_signal sim i = List.iter (mark_rank sim) sim.sens.(i)
+(* top-level recursion instead of [List.iter (mark_rank sim)]: the
+   partial application would allocate a closure on every single write *)
+let rec mark_ranks sim = function
+  | [] -> ()
+  | r :: tl ->
+      mark_rank sim r;
+      mark_ranks sim tl
+
+let mark_signal sim i = mark_ranks sim sim.sens.(i)
 
 let mark_all sim =
   Array.fill sim.dirty 0 (Array.length sim.dirty) true;
   sim.ndirty <- Array.length sim.dirty
+
+(* The notify wiring is decided per (kernel, mode, stats) so each
+   configuration pays only for what it uses: the uninstrumented sparse
+   path runs the exact pre-telemetry change callback, the dense path
+   does no dirty marking at all (everything runs anyway) and just
+   counts value changes for the mode-exit test. *)
+let wire_notify sim =
+  match (sim.kernel, sim.mode, sim.stats) with
+  | Brute_force, _, None -> sim.notify <- ignore
+  | Brute_force, _, Some st ->
+      sim.notify <- (fun i -> st.s_toggles.(i) <- st.s_toggles.(i) + 1)
+  (* no combinational plan, nothing to mark: purely sequential designs
+     (D4, D8) must not pay any event-kernel change-tracking at all *)
+  | Event_driven, _, None when Array.length sim.nodes = 0 ->
+      sim.notify <- ignore
+  | Event_driven, _, Some st when Array.length sim.nodes = 0 ->
+      sim.notify <- (fun i -> st.s_toggles.(i) <- st.s_toggles.(i) + 1)
+  | Event_driven, Sparse, None -> sim.notify <- mark_signal sim
+  | Event_driven, Sparse, Some st ->
+      sim.notify <-
+        (fun i ->
+          st.s_toggles.(i) <- st.s_toggles.(i) + 1;
+          mark_signal sim i)
+  | Event_driven, Dense, None ->
+      sim.notify <- (fun _ -> sim.nchanges <- sim.nchanges + 1)
+  | Event_driven, Dense, Some st ->
+      sim.notify <-
+        (fun i ->
+          st.s_toggles.(i) <- st.s_toggles.(i) + 1;
+          sim.nchanges <- sim.nchanges + 1)
 
 (* ------------------------------------------------------------------ *)
 (* Combinational scheduling                                            *)
@@ -205,7 +273,7 @@ let emit_display ctx fmt args =
     (match ctx.sim.stats with
     | Some st ->
         st.s_displays <- st.s_displays + 1;
-        Telemetry.Bus.publish Telemetry.bus
+        Telemetry.Bus.publish (Telemetry.bus ())
           {
             Telemetry.ev_cycle = ctx.sim.cycle;
             ev_source = "simulator";
@@ -446,27 +514,21 @@ let create ?(kernel = Event_driven) (flat : flat) : t =
           s_displays = 0;
           s_toggles = Array.make (Array.length flat.f_signal_order) 0;
           s_settle_hist = Telemetry.Histogram.make "settle.nodes_evaluated";
+          s_sample_every = Telemetry.step_sample ();
+          s_cycles_in_window = 0;
+          s_evaluated_mark = 0;
         }
     else None
   in
   let sim =
     { flat; tab; env; kernel; nodes; sens; display_nodes;
-      dirty = Array.make n true; ndirty = n; notify = ignore; seq; prims;
+      dirty = Array.make n true; ndirty = n;
+      mode = Sparse; mode_streak = 0; nchanges = 0;
+      notify = ignore; seq; prims;
       cycle = 0; finished = false; log = []; log_len = 0;
       log_memo = (0, []); display_hook = None; step_hooks = []; stats }
   in
-  (* the notify wiring is decided once, here, so the disabled case runs
-     the exact pre-telemetry change path *)
-  (match (kernel, stats) with
-  | Event_driven, None -> sim.notify <- mark_signal sim
-  | Event_driven, Some st ->
-      sim.notify <-
-        (fun i ->
-          st.s_toggles.(i) <- st.s_toggles.(i) + 1;
-          mark_signal sim i)
-  | Brute_force, None -> ()
-  | Brute_force, Some st ->
-      sim.notify <- (fun i -> st.s_toggles.(i) <- st.s_toggles.(i) + 1));
+  wire_notify sim;
   (* initial primitive outputs so the first settle sees them; every node
      starts dirty, so the first settle evaluates the full plan *)
   List.iter (drive_prim_outputs sim) prims;
@@ -497,42 +559,90 @@ let settle ?(displays = false) (sim : t) =
           Telemetry.Histogram.observe st.s_settle_hist n);
       Array.iter (exec_node ctx) sim.nodes
   | Event_driven -> (
-      (* a $display must fire on every display-enabled settle its block
-         is reached, exactly as in the full sweep, even when no input
-         changed - force those nodes onto the dirty set *)
-      if displays then List.iter (mark_rank sim) sim.display_nodes;
-      (* rank order = topological order, so every producer runs before
-         its consumers; a node marking an earlier-or-equal rank (a
-         self-dependency the cycle check admits) stays dirty for the
-         next settle, matching the once-per-sweep full plan *)
-      match sim.stats with
-      | None ->
-          if sim.ndirty > 0 then
-            for r = 0 to Array.length sim.nodes - 1 do
-              if sim.dirty.(r) then (
-                sim.dirty.(r) <- false;
-                sim.ndirty <- sim.ndirty - 1;
-                exec_node ctx sim.nodes.(r))
-            done
-      | Some st ->
-          (* instrumented copy of the loop above: the disabled path must
-             not pay even a per-node counter increment *)
-          let n = Array.length sim.nodes in
-          st.s_settles <- st.s_settles + 1;
-          st.s_node_rounds <- st.s_node_rounds + n;
-          st.s_dirty_total <- st.s_dirty_total + sim.ndirty;
-          if sim.ndirty > st.s_dirty_peak then st.s_dirty_peak <- sim.ndirty;
+      let n = Array.length sim.nodes in
+      match sim.mode with
+      | Dense ->
+          (* rank-ordered full scan, identical to the brute-force sweep:
+             no flag reads, no clears, no display forcing (display nodes
+             are in the plan). The notify callback counts value-changing
+             writes so the exit test below can detect a quiet design. *)
+          sim.nchanges <- 0;
+          (match sim.stats with
+          | None -> ()
+          | Some st ->
+              st.s_settles <- st.s_settles + 1;
+              st.s_node_rounds <- st.s_node_rounds + n;
+              st.s_nodes_evaluated <- st.s_nodes_evaluated + n;
+              st.s_dirty_total <- st.s_dirty_total + n;
+              if n > st.s_dirty_peak then st.s_dirty_peak <- n;
+              Telemetry.Histogram.observe st.s_settle_hist n);
+          Array.iter (exec_node ctx) sim.nodes;
+          (* Dense -> Sparse test, at exit *)
+          if dense_exit_den * sim.nchanges <= dense_exit_num * n then (
+            sim.mode_streak <- sim.mode_streak + 1;
+            if sim.mode_streak >= mode_streak_len then (
+              sim.mode <- Sparse;
+              sim.mode_streak <- 0;
+              wire_notify sim;
+              (* re-enter sparse with everything dirty: the flags went
+                 stale while dense mode skipped marking. The superset is
+                 safe - re-evaluating a clean pure node is a no-op - and
+                 the next settles shrink the set through change
+                 detection as usual. *)
+              mark_all sim))
+          else sim.mode_streak <- 0
+      | Sparse -> (
+          (* a $display must fire on every display-enabled settle its
+             block is reached, exactly as in the full sweep, even when no
+             input changed - force those nodes onto the dirty set *)
+          if displays then List.iter (mark_rank sim) sim.display_nodes;
+          (* rank order = topological order, so every producer runs before
+             its consumers; a node marking an earlier-or-equal rank (a
+             self-dependency the cycle check admits) stays dirty for the
+             next settle, matching the once-per-sweep full plan *)
           let evaluated = ref 0 in
-          if sim.ndirty > 0 then
-            for r = 0 to n - 1 do
-              if sim.dirty.(r) then (
-                sim.dirty.(r) <- false;
-                sim.ndirty <- sim.ndirty - 1;
-                incr evaluated;
-                exec_node ctx sim.nodes.(r))
-            done;
-          st.s_nodes_evaluated <- st.s_nodes_evaluated + !evaluated;
-          Telemetry.Histogram.observe st.s_settle_hist !evaluated)
+          (match sim.stats with
+          | None ->
+              if sim.ndirty > 0 then
+                for r = 0 to n - 1 do
+                  if sim.dirty.(r) then (
+                    sim.dirty.(r) <- false;
+                    sim.ndirty <- sim.ndirty - 1;
+                    incr evaluated;
+                    exec_node ctx sim.nodes.(r))
+                done
+          | Some st ->
+              (* instrumented copy of the loop above: the disabled path
+                 pays only the local [evaluated] increment the mode test
+                 needs, never a stats-record write *)
+              st.s_settles <- st.s_settles + 1;
+              st.s_node_rounds <- st.s_node_rounds + n;
+              st.s_dirty_total <- st.s_dirty_total + sim.ndirty;
+              if sim.ndirty > st.s_dirty_peak then
+                st.s_dirty_peak <- sim.ndirty;
+              if sim.ndirty > 0 then
+                for r = 0 to n - 1 do
+                  if sim.dirty.(r) then (
+                    sim.dirty.(r) <- false;
+                    sim.ndirty <- sim.ndirty - 1;
+                    incr evaluated;
+                    exec_node ctx sim.nodes.(r))
+                done;
+              st.s_nodes_evaluated <- st.s_nodes_evaluated + !evaluated;
+              Telemetry.Histogram.observe st.s_settle_hist !evaluated);
+          (* Sparse -> Dense test, at exit: when nearly the whole plan
+             ran anyway (cascades included), the per-node flag traffic
+             was pure overhead. The test reads only the evaluation
+             count, never [stats], so instrumented and uninstrumented
+             runs take identical mode trajectories. *)
+          if n > 0 && dense_enter_den * !evaluated >= dense_enter_num * n
+          then (
+            sim.mode_streak <- sim.mode_streak + 1;
+            if sim.mode_streak >= mode_streak_len then (
+              sim.mode <- Dense;
+              sim.mode_streak <- 0;
+              wire_notify sim))
+          else sim.mode_streak <- 0))
 
 (* Public accessors stay name-keyed: one id lookup per call, then array
    reads/writes. *)
@@ -610,9 +720,6 @@ let has_negedge (sim : t) =
 
 let step (sim : t) =
   if not sim.finished then (
-    let evaluated0 =
-      match sim.stats with Some st -> st.s_nodes_evaluated | None -> 0
-    in
     settle sim ~displays:false;
     (* rising edge: posedge blocks and the clocked IP primitives fire
        against the settled pre-edge state; displays use those values *)
@@ -628,14 +735,27 @@ let step (sim : t) =
     (match sim.stats with
     | Some st ->
         st.s_steps <- st.s_steps + 1;
-        Telemetry.Bus.publish Telemetry.bus
-          {
-            Telemetry.ev_cycle = completed;
-            ev_source = "simulator";
-            ev_kind = "step";
-            ev_data =
-              [ ("evaluated", string_of_int (st.s_nodes_evaluated - evaluated0)) ];
-          }
+        (* publish one aggregated event per sampling window rather than
+           one per cycle - the per-cycle record allocation dominated
+           telemetry-on overhead on small designs. Totals stay exact;
+           only the bus cadence changes. *)
+        st.s_cycles_in_window <- st.s_cycles_in_window + 1;
+        if st.s_cycles_in_window >= st.s_sample_every then (
+          let window = st.s_cycles_in_window in
+          let delta = st.s_nodes_evaluated - st.s_evaluated_mark in
+          st.s_cycles_in_window <- 0;
+          st.s_evaluated_mark <- st.s_nodes_evaluated;
+          Telemetry.Bus.publish (Telemetry.bus ())
+            {
+              Telemetry.ev_cycle = completed;
+              ev_source = "simulator";
+              ev_kind = "step";
+              ev_data =
+                [
+                  ("cycles", string_of_int window);
+                  ("evaluated", string_of_int delta);
+                ];
+            })
     | None -> ());
     if sim.step_hooks <> [] then
       List.iter (fun f -> f completed) sim.step_hooks)
@@ -698,6 +818,8 @@ let stats sim =
         st_settle_hist = Telemetry.Histogram.snapshot st.s_settle_hist;
       })
     sim.stats
+
+let dense_mode sim = sim.kernel = Event_driven && sim.mode = Dense
 
 let kernel_efficiency sim =
   match sim.stats with
@@ -814,5 +936,9 @@ let restore (sim : t) (snap : checkpoint) : unit =
   (* invalidate the memo: a restored log of the same length as the
      current one would otherwise serve the stale reversed view *)
   sim.log_memo <- (-1, []);
-  (* the whole environment may have changed: re-evaluate everything *)
+  (* the whole environment may have changed: drop back to sparse with
+     everything dirty and let activity re-derive the mode *)
+  sim.mode <- Sparse;
+  sim.mode_streak <- 0;
+  wire_notify sim;
   mark_all sim

@@ -20,7 +20,14 @@
     the nodes whose inputs actually changed, in topological rank order.
     This preserves the exact cycle-level semantics of the full sweep
     (including the once-per-final-settle firing of combinational
-    [$display] statements) while skipping quiescent logic entirely. *)
+    [$display] statements) while skipping quiescent logic entirely.
+
+    On designs where nearly every node fires every cycle, dirty-set
+    bookkeeping costs more than the evaluations it saves, so the
+    event-driven kernel adaptively falls back to a rank-ordered full
+    scan ({e dense mode}) while the dirty fraction stays high and
+    returns to sparse scheduling when activity drops; see
+    {!dense_mode}. Mode switches never change simulation results. *)
 
 exception Combinational_cycle of string list
 (** Raised at construction when continuous assignments / combinational
@@ -109,6 +116,11 @@ type stats = {
 
 val stats : t -> stats option
 (** [None] when telemetry was disabled at construction. *)
+
+val dense_mode : t -> bool
+(** True while the event-driven kernel is in its dense full-scan
+    fallback (always false for {!Brute_force}). Exposed for tests and
+    profiling; mode switches never change simulation results. *)
 
 val kernel_efficiency : t -> float option
 (** [st_nodes_evaluated / st_node_rounds] — the fraction of full-sweep

@@ -1,7 +1,15 @@
 (* Telemetry core: counters / histograms / timing spans plus a bounded
    ring-buffer event bus.
 
-   The whole module is gated on one global flag so that a disabled run
+   All mutable state lives in a per-domain [sink] held in domain-local
+   storage. Nothing here is shared between domains, so a pool of
+   simulation workers (lib/campaign) can run fully instrumented without
+   locks or races: each domain records into its own sink and the pool
+   merges the per-domain reports at join time. A freshly spawned domain
+   inherits the parent's enabled flag and sampling knob (captured at
+   spawn), but starts with empty counters, spans, and bus.
+
+   Recording is gated on the sink's enabled flag so that a disabled run
    pays a single predictable branch per recording call and nothing
    else: no allocation, no hashing, no clock reads. The bus implements
    the paper's recording-IP semantics in software — fixed depth, most
@@ -9,41 +17,119 @@
    overflow shows up in the numbers (the Figure 2 buffer-size /
    coverage tradeoff) instead of silently truncating history. *)
 
-let on = ref false
-let enabled () = !on
-let enable () = on := true
-let disable () = on := false
-
 (* [Sys.time] keeps the library free of even the unix dependency; a
-   harness that wants wall time installs its own clock. *)
+   harness that wants wall time installs its own clock. Installed once
+   from the main domain before any spawning, so the plain ref is safe. *)
 let clock = ref Sys.time
 let set_clock f = clock := f
+
+(* ------------------------------------------------------------------ *)
+(* Events and the bus                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type event = {
+  ev_cycle : int;
+  ev_source : string;
+  ev_kind : string;
+  ev_data : (string * string) list;
+}
+
+type bus = {
+  mutable b_data : event option array;
+  mutable b_head : int;  (* index of the oldest retained entry *)
+  mutable b_len : int;
+  mutable b_published : int;
+  mutable b_dropped : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The per-domain sink                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type span_rec = { mutable sp_count : int; mutable sp_total : float }
+
+type sink = {
+  mutable sk_on : bool;
+  mutable sk_step_sample : int;
+      (* publish one aggregated simulator "step" event every this many
+         cycles; 1 restores the one-event-per-cycle firehose *)
+  sk_counters : (string, int ref) Hashtbl.t;
+  sk_spans : (string, span_rec) Hashtbl.t;
+  sk_bus : bus;
+}
+
+let default_bus_depth = 8192
+let default_step_sample = 32
+
+let make_bus depth =
+  { b_data = Array.make depth None;
+    b_head = 0; b_len = 0; b_published = 0; b_dropped = 0 }
+
+let fresh_sink () =
+  {
+    sk_on = false;
+    sk_step_sample = default_step_sample;
+    sk_counters = Hashtbl.create 32;
+    sk_spans = Hashtbl.create 16;
+    sk_bus = make_bus default_bus_depth;
+  }
+
+(* A spawned worker starts with the parent's switch position and
+   sampling rate but records into its own empty sink. *)
+let sink_key : sink Domain.DLS.key =
+  Domain.DLS.new_key
+    ~split_from_parent:(fun parent ->
+      let s = fresh_sink () in
+      s.sk_on <- parent.sk_on;
+      s.sk_step_sample <- parent.sk_step_sample;
+      s)
+    fresh_sink
+
+let sink () = Domain.DLS.get sink_key
+
+let enabled () = (sink ()).sk_on
+let enable () = (sink ()).sk_on <- true
+let disable () = (sink ()).sk_on <- false
+
+let step_sample () = (sink ()).sk_step_sample
+let set_step_sample n = (sink ()).sk_step_sample <- max 1 n
 
 (* ------------------------------------------------------------------ *)
 (* Counters                                                            *)
 (* ------------------------------------------------------------------ *)
 
 module Counter = struct
-  type t = { c_name : string; mutable c_value : int }
+  (* A counter handle is just its name: producers may create handles at
+     module initialization (in whatever domain loads them) and bump
+     from any domain — each domain accumulates into its own sink. *)
+  type t = string
 
-  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+  let make name = name
+  let name c = c
 
-  let make name =
-    match Hashtbl.find_opt registry name with
-    | Some c -> c
+  let cell sk c =
+    match Hashtbl.find_opt sk.sk_counters c with
+    | Some r -> r
     | None ->
-        let c = { c_name = name; c_value = 0 } in
-        Hashtbl.replace registry name c;
-        c
+        let r = ref 0 in
+        Hashtbl.replace sk.sk_counters c r;
+        r
 
-  let bump c n = if !on then c.c_value <- c.c_value + n
-  let incr c = if !on then c.c_value <- c.c_value + 1
-  let value c = c.c_value
-  let name c = c.c_name
-  let reset_all () = Hashtbl.iter (fun _ c -> c.c_value <- 0) registry
+  let bump c n =
+    let sk = sink () in
+    if sk.sk_on then (
+      let r = cell sk c in
+      r := !r + n)
+
+  let incr c = bump c 1
+
+  let value c =
+    match Hashtbl.find_opt (sink ()).sk_counters c with
+    | Some r -> !r
+    | None -> 0
 
   let all () =
-    Hashtbl.fold (fun _ c acc -> (c.c_name, c.c_value) :: acc) registry []
+    Hashtbl.fold (fun n r acc -> (n, !r) :: acc) (sink ()).sk_counters []
     |> List.sort compare
 end
 
@@ -54,7 +140,9 @@ end
 module Histogram = struct
   (* Power-of-two buckets: bucket [k] holds values in
      (2^(k-1) - 1, 2^k - 1]; bucket 0 holds exactly 0. 63 buckets
-     cover the full non-negative int range. *)
+     cover the full non-negative int range. Histograms are plain values
+     owned by their producer (a simulator instance keeps its own), so
+     they are domain-safe as long as the producer is. *)
   let nbuckets = 63
 
   type t = {
@@ -92,7 +180,7 @@ module Histogram = struct
     min (bits v 0) (nbuckets - 1)
 
   let observe h v =
-    if !on then (
+    if (sink ()).sk_on then (
       let v = max v 0 in
       if h.h_count = 0 then (
         h.h_min <- v;
@@ -132,22 +220,18 @@ end
 (* Timing spans                                                        *)
 (* ------------------------------------------------------------------ *)
 
-type span_rec = { mutable sp_count : int; mutable sp_total : float }
-
-let spans : (string, span_rec) Hashtbl.t = Hashtbl.create 16
-
-let span_rec name =
-  match Hashtbl.find_opt spans name with
-  | Some r -> r
-  | None ->
-      let r = { sp_count = 0; sp_total = 0.0 } in
-      Hashtbl.replace spans name r;
-      r
-
 let span name f =
-  if not !on then f ()
+  let sk = sink () in
+  if not sk.sk_on then f ()
   else (
-    let r = span_rec name in
+    let r =
+      match Hashtbl.find_opt sk.sk_spans name with
+      | Some r -> r
+      | None ->
+          let r = { sp_count = 0; sp_total = 0.0 } in
+          Hashtbl.replace sk.sk_spans name r;
+          r
+    in
     let t0 = !clock () in
     Fun.protect
       ~finally:(fun () ->
@@ -156,38 +240,21 @@ let span name f =
       f)
 
 let all_spans () =
-  Hashtbl.fold (fun n r acc -> (n, r.sp_count, r.sp_total) :: acc) spans []
+  Hashtbl.fold
+    (fun n r acc -> (n, r.sp_count, r.sp_total) :: acc)
+    (sink ()).sk_spans []
   |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
-(* Event bus                                                           *)
+(* Event bus operations                                                *)
 (* ------------------------------------------------------------------ *)
 
-type event = {
-  ev_cycle : int;
-  ev_source : string;
-  ev_kind : string;
-  ev_data : (string * string) list;
-}
-
 module Bus = struct
-  type t = {
-    mutable b_data : event option array;
-    mutable b_head : int;  (* index of the oldest retained entry *)
-    mutable b_len : int;
-    mutable b_published : int;
-    mutable b_dropped : int;
-  }
+  type t = bus
 
-  let create ?(depth = 8192) () =
+  let create ?(depth = default_bus_depth) () =
     if depth <= 0 then invalid_arg "Telemetry.Bus.create: depth must be > 0";
-    {
-      b_data = Array.make depth None;
-      b_head = 0;
-      b_len = 0;
-      b_published = 0;
-      b_dropped = 0;
-    }
+    make_bus depth
 
   let depth b = Array.length b.b_data
 
@@ -207,7 +274,7 @@ module Bus = struct
     b.b_dropped <- 0
 
   let publish b e =
-    if !on then (
+    if (sink ()).sk_on then (
       let d = Array.length b.b_data in
       b.b_published <- b.b_published + 1;
       if b.b_len < d then (
@@ -231,7 +298,7 @@ module Bus = struct
   let dropped b = b.b_dropped
 end
 
-let bus = Bus.create ()
+let bus () = (sink ()).sk_bus
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
@@ -247,16 +314,62 @@ type report = {
 }
 
 let report () =
+  let sk = sink () in
   {
     r_counters = Counter.all ();
     r_spans = all_spans ();
-    r_bus_depth = Bus.depth bus;
-    r_bus_published = Bus.published bus;
-    r_bus_dropped = Bus.dropped bus;
-    r_bus_retained = Bus.length bus;
+    r_bus_depth = Bus.depth sk.sk_bus;
+    r_bus_published = Bus.published sk.sk_bus;
+    r_bus_dropped = Bus.dropped sk.sk_bus;
+    r_bus_retained = Bus.length sk.sk_bus;
+  }
+
+let empty_report =
+  {
+    r_counters = [];
+    r_spans = [];
+    r_bus_depth = 0;
+    r_bus_published = 0;
+    r_bus_dropped = 0;
+    r_bus_retained = 0;
+  }
+
+(* Merge the reports of two sinks (e.g. two worker domains): counters
+   and spans are summed by name, bus accounting is summed, bus depth is
+   the larger of the two. *)
+let merge a b =
+  let sum_assoc xs ys combine =
+    let tbl = Hashtbl.create 32 in
+    let add (k, v) =
+      match Hashtbl.find_opt tbl k with
+      | Some prev -> Hashtbl.replace tbl k (combine prev v)
+      | None -> Hashtbl.replace tbl k v
+    in
+    List.iter add xs;
+    List.iter add ys;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+  in
+  let counters =
+    sum_assoc a.r_counters b.r_counters (fun x y -> x + y)
+  in
+  let spans =
+    sum_assoc
+      (List.map (fun (n, c, t) -> (n, (c, t))) a.r_spans)
+      (List.map (fun (n, c, t) -> (n, (c, t))) b.r_spans)
+      (fun (c1, t1) (c2, t2) -> (c1 + c2, t1 +. t2))
+    |> List.map (fun (n, (c, t)) -> (n, c, t))
+  in
+  {
+    r_counters = counters;
+    r_spans = spans;
+    r_bus_depth = max a.r_bus_depth b.r_bus_depth;
+    r_bus_published = a.r_bus_published + b.r_bus_published;
+    r_bus_dropped = a.r_bus_dropped + b.r_bus_dropped;
+    r_bus_retained = a.r_bus_retained + b.r_bus_retained;
   }
 
 let reset () =
-  Counter.reset_all ();
-  Hashtbl.reset spans;
-  Bus.clear bus
+  let sk = sink () in
+  Hashtbl.reset sk.sk_counters;
+  Hashtbl.reset sk.sk_spans;
+  Bus.clear sk.sk_bus

@@ -3,11 +3,19 @@
     observability stack (recording IPs with fixed-depth buffers,
     Statistics Monitor counters).
 
-    Everything is gated on one global switch, off by default. Every
-    recording entry point checks the switch with a single branch and
-    returns immediately when disabled, so an uninstrumented run pays
-    ~nothing. Producers therefore never need their own guards; they
-    just call {!Counter.bump}, {!Histogram.observe}, {!span},
+    All state lives in a per-domain {e sink} held in domain-local
+    storage, so independent simulations running on a pool of OCaml
+    domains (lib/campaign) record concurrently without locks: each
+    domain accumulates into its own sink and the pool {!merge}s the
+    per-domain {!report}s at join time. A freshly spawned domain
+    inherits the parent's enabled flag and step-sampling knob but
+    starts with empty counters, spans, and bus.
+
+    Everything is gated on the current sink's switch, off by default.
+    Every recording entry point checks the switch with a single branch
+    and returns immediately when disabled, so an uninstrumented run
+    pays ~nothing. Producers therefore never need their own guards;
+    they just call {!Counter.bump}, {!Histogram.observe}, {!span},
     {!Bus.publish} unconditionally.
 
     The {!Bus} mirrors the recording-IP semantics of the paper's
@@ -22,7 +30,19 @@ val disable : unit -> unit
 val set_clock : (unit -> float) -> unit
 (** Clock used by {!span}, in seconds. Defaults to [Sys.time] (CPU
     seconds), keeping the library dependency-free; a harness that
-    prefers wall time can install [Unix.gettimeofday]. *)
+    prefers wall time can install [Unix.gettimeofday]. Shared by all
+    domains — install it from the main domain before spawning. *)
+
+val step_sample : unit -> int
+(** Simulator step-event sampling interval for the current domain: the
+    simulator publishes one aggregated "step" bus event per this many
+    cycles instead of one per cycle. Default 32. Counter and stats
+    totals are exact regardless of the interval — only the bus event
+    cadence changes. *)
+
+val set_step_sample : int -> unit
+(** Clamped to at least 1; 1 restores the one-event-per-cycle
+    firehose (what [profile] uses so drop accounting stays exact). *)
 
 (** {1 Counters} *)
 
@@ -30,14 +50,19 @@ module Counter : sig
   type t
 
   val make : string -> t
-  (** Create-or-intern: the same name always yields the same counter,
-      so producers may call [make] at module initialization or lazily. *)
+  (** A counter handle is identified by its name: the same name always
+      denotes the same logical counter, and bumps land in the sink of
+      whichever domain performs them. Producers may call [make] at
+      module initialization (in any domain) and bump from any other. *)
 
   val bump : t -> int -> unit
   (** No-op while telemetry is disabled. *)
 
   val incr : t -> unit
+
   val value : t -> int
+  (** Value accumulated in the {e current} domain's sink. *)
+
   val name : t -> string
 end
 
@@ -59,7 +84,8 @@ module Histogram : sig
 
   val make : string -> t
   (** Histograms are plain values owned by their producer (a simulator
-      instance keeps its own), not interned globally. *)
+      instance keeps its own), not interned; they are domain-safe as
+      long as their producer is. *)
 
   val observe : t -> int -> unit
   (** No-op while telemetry is disabled; negative values clamp to 0. *)
@@ -72,8 +98,9 @@ end
 
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f], accumulating its duration and call count
-    under [name] when telemetry is enabled (exceptions still record).
-    When disabled it is a tail call to [f]. *)
+    under [name] in the current domain's sink when telemetry is
+    enabled (exceptions still record). When disabled it is a tail call
+    to [f]. *)
 
 (** {1 Event bus} *)
 
@@ -115,8 +142,9 @@ module Bus : sig
   val clear : t -> unit
 end
 
-val bus : Bus.t
-(** The global default bus every instrumented layer publishes to. *)
+val bus : unit -> Bus.t
+(** The current domain's default bus — what every instrumented layer
+    publishes to. Each domain has its own. *)
 
 (** {1 Reporting} *)
 
@@ -131,8 +159,16 @@ type report = {
 }
 
 val report : unit -> report
-(** Snapshot of the global registries and the global bus. *)
+(** Snapshot of the current domain's sink. *)
+
+val empty_report : report
+
+val merge : report -> report -> report
+(** Combine two sinks' reports (e.g. two worker domains at pool join):
+    counters and spans are summed by name, bus publish/drop/retain
+    accounting is summed, bus depth is the larger of the two. *)
 
 val reset : unit -> unit
-(** Zero all counters and spans and clear the global bus. Does not
-    change the enabled flag, the bus depth, or the clock. *)
+(** Zero the current domain's counters and spans and clear its bus.
+    Does not change the enabled flag, step sampling, the bus depth, or
+    the clock. *)

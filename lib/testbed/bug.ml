@@ -67,20 +67,33 @@ type report = {
   rows : (int * (string * int) list) list;
   ext_error : bool;
   log : (int * string) list;
+  cycles : int;
+  vcd : string option;
 }
 
 let design_of bug ~buggy =
   Fpga_hdl.Parser.parse_design (if buggy then bug.buggy_src else bug.fixed_src)
 
-let run_design (bug : t) (design : Ast.design) : report =
-  let sim = Testbench.of_design ~top:bug.top design in
+let run_design ?(vcd = false) ?kernel ?max_cycles (bug : t)
+    (design : Ast.design) : report =
+  let max_cycles = Option.value max_cycles ~default:bug.max_cycles in
+  let flat = Fpga_sim.Elaborate.elaborate design ~top:bug.top in
+  let sim =
+    match kernel with
+    | Some kernel -> Simulator.create ~kernel flat
+    | None -> Simulator.create flat
+  in
+  let dump = if vcd then Some (Fpga_sim.Vcd.create flat) else None in
   let rows = ref [] in
   let ext = ref false in
   let satisfied = ref false in
   let i = ref 0 in
-  while !i < bug.max_cycles && (not (Simulator.finished sim)) && not !satisfied do
+  while !i < max_cycles && (not (Simulator.finished sim)) && not !satisfied do
     List.iter (fun (n, v) -> Simulator.set_input sim n v) (bug.stimulus !i);
     Simulator.step sim;
+    (match dump with
+    | Some d -> Fpga_sim.Vcd.sample d sim
+    | None -> ());
     (match bug.sample sim with
     | Some row -> rows := (!i, row) :: !rows
     | None -> ());
@@ -98,14 +111,18 @@ let run_design (bug : t) (design : Ast.design) : report =
     rows = List.rev !rows;
     ext_error = !ext;
     log = Simulator.log sim;
+    cycles = !i;
+    vcd = Option.map Fpga_sim.Vcd.contents dump;
   }
 
 let run (bug : t) ~buggy : report = run_design bug (design_of bug ~buggy)
 
-(* Symptoms observed by differential execution. *)
-let observed_symptoms (bug : t) : Taxonomy.symptom list =
-  let buggy = run bug ~buggy:true in
-  let fixed = run bug ~buggy:false in
+(* Symptoms derived from an already-executed differential pair: how the
+   buggy run diverges from the fixed one. Factored out of
+   [observed_symptoms] so a campaign job that already holds both
+   reports (e.g. with VCD capture on the buggy side) need not simulate
+   again. *)
+let symptoms_of ~(buggy : report) ~(fixed : report) : Taxonomy.symptom list =
   let stuck = buggy.stuck && not fixed.stuck in
   let loss = List.length buggy.rows < List.length fixed.rows in
   let incorrect =
@@ -122,9 +139,19 @@ let observed_symptoms (bug : t) : Taxonomy.symptom list =
       (ext, Taxonomy.External_error);
     ]
 
+(* Symptoms observed by differential execution. *)
+let observed_symptoms (bug : t) : Taxonomy.symptom list =
+  let buggy = run bug ~buggy:true in
+  let fixed = run bug ~buggy:false in
+  symptoms_of ~buggy ~fixed
+
 (* Push-button reproduction: the expected symptoms all manifest. *)
 let reproduces (bug : t) : bool =
   let observed = observed_symptoms bug in
+  List.for_all (fun s -> List.mem s observed) bug.symptoms
+
+let reproduces_of ~(bug : t) ~buggy ~fixed : bool =
+  let observed = symptoms_of ~buggy ~fixed in
   List.for_all (fun s -> List.mem s observed) bug.symptoms
 
 (* Convenience constructors for stimuli. *)

@@ -52,21 +52,40 @@ type report = {
   rows : (int * (string * int) list) list;
   ext_error : bool;
   log : (int * string) list;
+  cycles : int;  (** cycles actually simulated *)
+  vcd : string option;  (** full VCD text when requested via [?vcd] *)
 }
 
 val design_of : t -> buggy:bool -> Fpga_hdl.Ast.design
 
-val run_design : t -> Fpga_hdl.Ast.design -> report
+val run_design :
+  ?vcd:bool ->
+  ?kernel:Fpga_sim.Simulator.kernel ->
+  ?max_cycles:int ->
+  t ->
+  Fpga_hdl.Ast.design ->
+  report
 (** Drive an arbitrary design (e.g. an instrumented one) with the bug's
-    stimulus and observation hooks. *)
+    stimulus and observation hooks. [vcd] (default false) captures a
+    full waveform dump into the report; [kernel] picks the settle
+    kernel (default event-driven); [max_cycles] overrides the bug's
+    budget. *)
 
 val run : t -> buggy:bool -> report
+
+val symptoms_of :
+  buggy:report -> fixed:report -> Fpga_study.Taxonomy.symptom list
+(** Symptoms derived from an already-executed differential pair, so a
+    caller holding both reports need not simulate again. *)
 
 val observed_symptoms : t -> Fpga_study.Taxonomy.symptom list
 (** Differential execution of the buggy vs. fixed design. *)
 
 val reproduces : t -> bool
 (** All expected symptoms manifest. *)
+
+val reproduces_of : bug:t -> buggy:report -> fixed:report -> bool
+(** {!reproduces} over already-executed reports. *)
 
 val changed_signals : t -> string list
 (** Signals whose driving logic differs between the buggy and fixed

@@ -34,3 +34,17 @@ let loss_bugs = List.filter (fun (b : Bug.t) -> b.Bug.loss_spec <> None) all
 let extended : Bug.t list = Extended.all @ [ App_cpu.e7; App_cpu.e8 ]
 
 let all_with_extended = all @ extended
+
+(* Resolve a list of ids (extended set included), preserving request
+   order; the second component collects the unknown ids so a CLI can
+   report them all at once. *)
+let find_many requested =
+  let find_any id =
+    List.find_opt (fun (b : Bug.t) -> b.Bug.id = id) all_with_extended
+  in
+  List.fold_right
+    (fun id (found, unknown) ->
+      match find_any id with
+      | Some b -> (b :: found, unknown)
+      | None -> (found, id :: unknown))
+    requested ([], [])

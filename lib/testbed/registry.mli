@@ -15,3 +15,7 @@ val extended : Bug.t list
     coverage of all 13 subclasses. *)
 
 val all_with_extended : Bug.t list
+
+val find_many : string list -> Bug.t list * string list
+(** Resolve ids (extended set included) in request order; the second
+    component lists the ids that matched nothing. *)

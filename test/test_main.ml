@@ -11,4 +11,5 @@ let () =
       ("testbed", Test_testbed.suite);
       ("report", Test_report.suite);
       ("telemetry", Test_telemetry.suite);
+      ("campaign", Test_campaign.suite);
     ]

@@ -779,6 +779,81 @@ endmodule
   check_bool "idle design traces identical" true
     (drive Simulator.Event_driven = drive Simulator.Brute_force)
 
+(* A design whose whole combinational plan fires every cycle while the
+   input churns: w1..q all depend (directly or through the cascade) on
+   both d and r, and r moves every cycle while d is nonzero. *)
+let dense_src =
+  {|
+module top (input clk, input [7:0] d, output [7:0] q);
+  reg [7:0] r;
+  wire [7:0] w1, w2, w3;
+  assign w1 = d + r;
+  assign w2 = w1 ^ r;
+  assign w3 = w2 + d;
+  assign q = w3;
+  always @(posedge clk) r <= r + d;
+endmodule
+|}
+
+let test_dense_mode_engages_and_matches () =
+  (* sustained full-plan activity must flip the event kernel into its
+     dense full-scan mode without changing a single observable value *)
+  let ev = Testbench.of_source ~kernel:Simulator.Event_driven ~top:"top" dense_src in
+  let bf = Testbench.of_source ~kernel:Simulator.Brute_force ~top:"top" dense_src in
+  check_bool "starts sparse" false (Simulator.dense_mode ev);
+  for i = 0 to 29 do
+    let d = b 8 (((i * 37) + 1) land 0xff) in
+    Simulator.set_input ev "d" d;
+    Simulator.set_input bf "d" d;
+    Simulator.step ev;
+    Simulator.step bf;
+    check_int
+      (Printf.sprintf "q agrees at cycle %d" i)
+      (Simulator.read_int bf "q") (Simulator.read_int ev "q");
+    check_int
+      (Printf.sprintf "r agrees at cycle %d" i)
+      (Simulator.read_int bf "r") (Simulator.read_int ev "r")
+  done;
+  check_bool "sustained activity engages dense mode" true
+    (Simulator.dense_mode ev);
+  check_bool "brute force never reports dense mode" false
+    (Simulator.dense_mode bf)
+
+let test_dense_mode_exits_when_quiet () =
+  (* burst-then-idle: the kernel must leave dense mode once activity
+     drops, and the superset-dirty re-entry must not disturb values *)
+  let ev = Testbench.of_source ~kernel:Simulator.Event_driven ~top:"top" dense_src in
+  let bf = Testbench.of_source ~kernel:Simulator.Brute_force ~top:"top" dense_src in
+  let drive sim d i =
+    Simulator.set_input sim "d" (b 8 d);
+    Simulator.step sim;
+    ignore i
+  in
+  for i = 0 to 29 do
+    let d = ((i * 37) + 1) land 0xff in
+    drive ev d i;
+    drive bf d i
+  done;
+  check_bool "dense after the burst" true (Simulator.dense_mode ev);
+  for i = 0 to 29 do
+    drive ev 0 i;
+    drive bf 0 i;
+    check_int
+      (Printf.sprintf "q agrees during idle cycle %d" i)
+      (Simulator.read_int bf "q") (Simulator.read_int ev "q")
+  done;
+  check_bool "idle traffic drops back to sparse" false
+    (Simulator.dense_mode ev);
+  (* and a fresh burst after the round trip still tracks the sweep *)
+  for i = 0 to 9 do
+    let d = ((i * 53) + 5) land 0xff in
+    drive ev d i;
+    drive bf d i;
+    check_int
+      (Printf.sprintf "q agrees after re-burst cycle %d" i)
+      (Simulator.read_int bf "q") (Simulator.read_int ev "q")
+  done
+
 let suite =
   suite
   @ [
@@ -788,6 +863,10 @@ let suite =
         test_comb_display_fires_every_cycle;
       Alcotest.test_case "event kernel on idle design" `Quick
         test_event_kernel_idle_design;
+      Alcotest.test_case "dense mode engages on full-plan activity" `Quick
+        test_dense_mode_engages_and_matches;
+      Alcotest.test_case "dense mode exits when activity drops" `Quick
+        test_dense_mode_exits_when_quiet;
     ]
 
 (* --- golden VCD and waveform output -------------------------------------- *)

@@ -23,16 +23,21 @@ let contains haystack needle =
   go 0
 
 (* Run [f] with telemetry enabled and a clean slate, then restore the
-   global disabled default (flag, depth, contents) even on failure. *)
-let with_telemetry ?depth f =
+   disabled default (flag, depth, sampling, contents) even on failure. *)
+let with_telemetry ?depth ?step_sample f =
   Telemetry.enable ();
   Telemetry.reset ();
   (match depth with
-  | Some d -> Telemetry.Bus.set_depth Telemetry.bus d
+  | Some d -> Telemetry.Bus.set_depth (Telemetry.bus ()) d
+  | None -> ());
+  let old_sample = Telemetry.step_sample () in
+  (match step_sample with
+  | Some s -> Telemetry.set_step_sample s
   | None -> ());
   Fun.protect
     ~finally:(fun () ->
-      Telemetry.Bus.set_depth Telemetry.bus 8192;
+      Telemetry.Bus.set_depth (Telemetry.bus ()) 8192;
+      Telemetry.set_step_sample old_sample;
       Telemetry.reset ();
       Telemetry.disable ())
     f
@@ -49,8 +54,12 @@ let test_counter_gating () =
       Telemetry.Counter.bump c 5;
       Telemetry.Counter.incr c;
       check_int "enabled bumps count" 6 (Telemetry.Counter.value c);
-      check_bool "interning returns the same counter" true
-        (Telemetry.Counter.make "test.gating" == c));
+      (* handles are name-keyed: a second handle for the same name reads
+         and writes the same per-domain cell *)
+      let c' = Telemetry.Counter.make "test.gating" in
+      check_int "same name reads the same cell" 6 (Telemetry.Counter.value c');
+      Telemetry.Counter.incr c';
+      check_int "same name writes the same cell" 7 (Telemetry.Counter.value c));
   check_int "reset zeroes the counter" 0 (Telemetry.Counter.value c)
 
 let test_histogram () =
@@ -97,25 +106,25 @@ let test_bus_ring () =
         }
       in
       for i = 0 to 5 do
-        Telemetry.Bus.publish Telemetry.bus (ev i)
+        Telemetry.Bus.publish (Telemetry.bus ()) (ev i)
       done;
-      check_int "depth" 4 (Telemetry.Bus.depth Telemetry.bus);
-      check_int "published" 6 (Telemetry.Bus.published Telemetry.bus);
-      check_int "dropped" 2 (Telemetry.Bus.dropped Telemetry.bus);
-      check_int "retained" 4 (Telemetry.Bus.length Telemetry.bus);
+      check_int "depth" 4 (Telemetry.Bus.depth (Telemetry.bus ()));
+      check_int "published" 6 (Telemetry.Bus.published (Telemetry.bus ()));
+      check_int "dropped" 2 (Telemetry.Bus.dropped (Telemetry.bus ()));
+      check_int "retained" 4 (Telemetry.Bus.length (Telemetry.bus ()));
       Alcotest.(check (list int))
         "most recent entries retained, oldest first" [ 2; 3; 4; 5 ]
         (List.map
            (fun e -> e.Telemetry.ev_cycle)
-           (Telemetry.Bus.events Telemetry.bus)))
+           (Telemetry.Bus.events (Telemetry.bus ()))))
 
 let test_bus_disabled () =
   Telemetry.disable ();
-  let before = Telemetry.Bus.published Telemetry.bus in
-  Telemetry.Bus.publish Telemetry.bus
+  let before = Telemetry.Bus.published (Telemetry.bus ()) in
+  Telemetry.Bus.publish (Telemetry.bus ())
     { Telemetry.ev_cycle = 0; ev_source = "t"; ev_kind = "k"; ev_data = [] };
   check_int "disabled publish is a no-op" before
-    (Telemetry.Bus.published Telemetry.bus)
+    (Telemetry.Bus.published (Telemetry.bus ()))
 
 (* --- simulator integration ----------------------------------------- *)
 
@@ -136,7 +145,7 @@ let test_stats_gating () =
   check_bool "no toggle counts either" true (Simulator.toggle_counts sim = [])
 
 let test_stats_and_hottest () =
-  with_telemetry (fun () ->
+  with_telemetry ~step_sample:1 (fun () ->
       let sim = sim_of counter_src "top" in
       Simulator.set_input sim "enable" (b 1 1);
       Simulator.run sim 8;
@@ -160,11 +169,81 @@ let test_stats_and_hottest () =
       let steps =
         List.filter
           (fun e -> e.Telemetry.ev_kind = "step")
-          (Telemetry.Bus.events Telemetry.bus)
+          (Telemetry.Bus.events (Telemetry.bus ()))
       in
-      check_int "one step event per cycle" 8 (List.length steps);
+      check_int "one step event per cycle at sample interval 1" 8
+        (List.length steps);
       check_int "step events are 0-based completed cycles" 0
         (List.hd steps).Telemetry.ev_cycle)
+
+(* Step events are sampled: one aggregated bus event per window, with
+   exact totals carried in the payload. *)
+let test_step_event_sampling () =
+  with_telemetry ~step_sample:4 (fun () ->
+      let sim = sim_of counter_src "top" in
+      Simulator.set_input sim "enable" (b 1 1);
+      Simulator.run sim 8;
+      let st = Option.get (Simulator.stats sim) in
+      check_int "stats totals stay exact" 8 st.Simulator.st_steps;
+      let steps =
+        List.filter
+          (fun e -> e.Telemetry.ev_kind = "step")
+          (Telemetry.Bus.events (Telemetry.bus ()))
+      in
+      check_int "one aggregated event per 4-cycle window" 2
+        (List.length steps);
+      List.iter
+        (fun e ->
+          check_int "window size in payload" 4
+            (int_of_string (List.assoc "cycles" e.Telemetry.ev_data)))
+        steps;
+      let evaluated =
+        List.fold_left
+          (fun acc e ->
+            acc + int_of_string (List.assoc "evaluated" e.Telemetry.ev_data))
+          0 steps
+      in
+      check_int "windows sum to the exact evaluation total"
+        st.Simulator.st_nodes_evaluated evaluated)
+
+(* Each domain records into its own sink: worker bumps never land in
+   the parent's counters, and the pool-side merge sums reports. *)
+let test_domain_isolation () =
+  with_telemetry (fun () ->
+      let c = Telemetry.Counter.make "test.domains" in
+      Telemetry.Counter.bump c 2;
+      let worker =
+        Domain.spawn (fun () ->
+            (* inherited: the enabled flag; not inherited: the counts *)
+            check_bool "worker inherits the enabled flag" true
+              (Telemetry.enabled ());
+            check_int "worker starts with an empty sink" 0
+              (Telemetry.Counter.value c);
+            Telemetry.Counter.bump c 5;
+            Telemetry.Bus.publish (Telemetry.bus ())
+              {
+                Telemetry.ev_cycle = 1;
+                ev_source = "worker";
+                ev_kind = "e";
+                ev_data = [];
+              };
+            Telemetry.report ())
+      in
+      let wr = Domain.join worker in
+      check_int "worker bumps stay out of the parent sink" 2
+        (Telemetry.Counter.value c);
+      check_int "worker events stay off the parent bus" 0
+        (List.length
+           (List.filter
+              (fun e -> e.Telemetry.ev_source = "worker")
+              (Telemetry.Bus.events (Telemetry.bus ()))));
+      let parent = Telemetry.report () in
+      let merged = Telemetry.merge parent wr in
+      check_int "merge sums counters across sinks" 7
+        (List.assoc "test.domains" merged.Telemetry.r_counters);
+      check_int "merge sums bus publish accounting"
+        (parent.Telemetry.r_bus_published + wr.Telemetry.r_bus_published)
+        merged.Telemetry.r_bus_published)
 
 let test_on_step_hook () =
   Telemetry.disable ();
@@ -236,7 +315,7 @@ let test_losscheck_publishes () =
       match
         List.find_opt
           (fun e -> e.Telemetry.ev_source = "losscheck")
-          (Telemetry.Bus.events Telemetry.bus)
+          (Telemetry.Bus.events (Telemetry.bus ()))
       with
       | Some e ->
           check_int "alarm cycle" 3 e.Telemetry.ev_cycle;
@@ -250,7 +329,7 @@ let test_losscheck_publishes () =
             (List.length
                (List.filter
                   (fun e -> e.Telemetry.ev_source = "losscheck")
-                  (Telemetry.Bus.events Telemetry.bus)))
+                  (Telemetry.Bus.events (Telemetry.bus ()))))
       | None -> Alcotest.fail "no losscheck event on the bus")
 
 let test_dep_monitor_publishes () =
@@ -272,7 +351,7 @@ endmodule
         (List.length
            (List.filter
               (fun e -> e.Telemetry.ev_source = "dep_monitor")
-              (Telemetry.Bus.events Telemetry.bus))))
+              (Telemetry.Bus.events (Telemetry.bus ())))))
 
 (* --- profile report -------------------------------------------------- *)
 
@@ -280,7 +359,7 @@ let test_profile_json () =
   let bug = Option.get (Registry.find "D2") in
   let p = Fpga_report.Profile.run ~cycles:200 ~buffer:64 bug in
   Telemetry.reset ();
-  Telemetry.Bus.set_depth Telemetry.bus 8192;
+  Telemetry.Bus.set_depth (Telemetry.bus ()) 8192;
   check_int "ran the requested cycles" 200 p.Fpga_report.Profile.p_cycles_run;
   check_bool "telemetry restored to disabled" false (Telemetry.enabled ());
   check_int "bus depth honours --buffer" 64 p.Fpga_report.Profile.p_bus_depth;
@@ -320,6 +399,10 @@ let suite =
       test_stats_gating;
     Alcotest.test_case "kernel stats, hottest signals, step events" `Quick
       test_stats_and_hottest;
+    Alcotest.test_case "step events aggregate per sampling window" `Quick
+      test_step_event_sampling;
+    Alcotest.test_case "per-domain sinks isolate and merge" `Quick
+      test_domain_isolation;
     Alcotest.test_case "on_step hooks fire per completed cycle" `Quick
       test_on_step_hook;
     Alcotest.test_case "10k-display log reads stay linear-ish" `Quick
