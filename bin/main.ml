@@ -10,6 +10,9 @@
      fpga-debug losscheck D2              LossCheck localization
      fpga-debug instrument D2 -o out.v    emit the instrumented Verilog
      fpga-debug vcd D2 -o wave.vcd        dump a waveform of the buggy run
+     fpga-debug checkpoint D2 --every 50  capture a checkpoint stream
+     fpga-debug replay D2 --from CKPT     time-travel replay with full VCD
+     fpga-debug replay D2 --bisect        first-failing-cycle search
      fpga-debug profile D2 --cycles 200   kernel-profiling telemetry run
      fpga-debug report table1|table2|fig2|fig3|effectiveness|freq *)
 
@@ -333,25 +336,144 @@ let instrument_cmd =
 (* --- vcd ------------------------------------------------------------ *)
 
 let vcd_cmd =
-  let doc = "Run the buggy design and dump a VCD waveform." in
-  let run id out =
-    let bug = find_bug id in
-    let design = Bug.design_of bug ~buggy:true in
-    let flat = Fpga_sim.Elaborate.elaborate design ~top:bug.Bug.top in
-    let sim = Fpga_sim.Simulator.create flat in
-    let vcd = Fpga_sim.Vcd.create flat in
-    for i = 0 to bug.Bug.max_cycles - 1 do
-      List.iter
-        (fun (n, v) -> Fpga_sim.Simulator.set_input sim n v)
-        (bug.Bug.stimulus i);
-      Fpga_sim.Simulator.step sim;
-      Fpga_sim.Vcd.sample vcd sim
-    done;
-    let path = Option.value out ~default:(bug.Bug.id ^ ".vcd") in
-    Fpga_sim.Vcd.save vcd path;
-    Printf.printf "wrote %s (%d cycles)\n" path bug.Bug.max_cycles
+  let doc =
+    "Run the buggy design and dump a VCD waveform. --from starts \
+     waveform sampling at a cycle index, producing the windowed \
+     straight-run reference that `fpga-debug replay` output is diffed \
+     against."
   in
-  Cmd.v (Cmd.info "vcd" ~doc) Term.(const run $ bug_arg $ out_arg)
+  let from_arg =
+    Arg.(value & opt int 0
+         & info [ "from" ] ~docv:"CYCLE" ~doc:"Start sampling at this cycle")
+  in
+  let run id out from =
+    let bug = find_bug id in
+    let report =
+      Bug.run_design ~vcd:true ~vcd_from:from bug (Bug.design_of bug ~buggy:true)
+    in
+    let path = Option.value out ~default:(bug.Bug.id ^ ".vcd") in
+    let oc = open_out path in
+    output_string oc (Option.value report.Bug.vcd ~default:"");
+    close_out oc;
+    Printf.printf "wrote %s (cycles %d..%d)\n" path from report.Bug.cycles
+  in
+  Cmd.v (Cmd.info "vcd" ~doc) Term.(const run $ bug_arg $ out_arg $ from_arg)
+
+(* --- checkpoint ------------------------------------------------------ *)
+
+let checkpoint_cmd =
+  let doc =
+    "Run the buggy design while capturing a periodic checkpoint stream \
+     to disk. Each snapshot is a versioned, content-hashed file that \
+     `fpga-debug replay` can restore bit-identically."
+  in
+  let every_arg =
+    Arg.(value & opt int 50
+         & info [ "every" ] ~docv:"K" ~doc:"Checkpoint every K cycles")
+  in
+  let dir_arg =
+    Arg.(value & opt string "checkpoints"
+         & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory")
+  in
+  let run id every dir =
+    let bug = find_bug id in
+    if every <= 0 then (
+      prerr_endline "--every must be positive";
+      exit 1);
+    let module Replay = Fpga_testbed.Replay in
+    let module Checkpoint = Fpga_sim.Checkpoint in
+    let rc = Replay.record ~every bug in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun (ck : Checkpoint.t) ->
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "%s-c%d.fdc" bug.Bug.id ck.Checkpoint.ck_cycle)
+        in
+        Checkpoint.save path ck;
+        Printf.printf "wrote %s (cycle %d, %s)\n" path ck.Checkpoint.ck_cycle
+          (Checkpoint.content_hash ck))
+      rc.Replay.rec_checkpoints;
+    Printf.printf "%d checkpoints over %d cycles\n"
+      (List.length rc.Replay.rec_checkpoints)
+      rc.Replay.rec_report.Bug.cycles
+  in
+  Cmd.v (Cmd.info "checkpoint" ~doc)
+    Term.(const run $ bug_arg $ every_arg $ dir_arg)
+
+(* --- replay ---------------------------------------------------------- *)
+
+let replay_cmd =
+  let doc =
+    "Time-travel replay: restore a checkpoint and re-simulate the \
+     window with a full waveform of all signals (byte-identical to the \
+     straight run), or --bisect the checkpoint stream for the first \
+     failing cycle."
+  in
+  let from_arg =
+    Arg.(value & opt (some string) None
+         & info [ "from" ] ~docv:"CKPT"
+             ~doc:"Checkpoint file to restore (from `fpga-debug checkpoint`)")
+  in
+  let window_arg =
+    Arg.(value & opt (some int) None
+         & info [ "window" ] ~docv:"N"
+             ~doc:"Replay at most N cycles past the snapshot (default: the \
+                   bug's own cycle budget)")
+  in
+  let bisect_arg =
+    Arg.(value & flag
+         & info [ "bisect" ]
+             ~doc:"Binary-search the checkpoint stream for the first cycle \
+                   at which the buggy run diverges from the fixed \
+                   reference")
+  in
+  let every_arg =
+    Arg.(value & opt int 50
+         & info [ "every" ] ~docv:"K"
+             ~doc:"Checkpoint interval for --bisect")
+  in
+  let run id from window bisect every out =
+    let bug = find_bug id in
+    let module Replay = Fpga_testbed.Replay in
+    let module Checkpoint = Fpga_sim.Checkpoint in
+    try
+      if bisect then (
+        let r = Replay.bisect ~every bug in
+        print_endline r.Replay.bi_detail;
+        match r.Replay.bi_first_failing with
+        | Some c -> Printf.printf "first failing cycle: %d\n" c
+        | None ->
+            print_endline "no divergence found";
+            exit 1)
+      else
+        match from with
+        | None ->
+            prerr_endline "replay needs --from CKPT (or --bisect)";
+            exit 1
+        | Some path ->
+            let ck = Checkpoint.load path in
+            let report = Replay.replay ?window ~from:ck bug in
+            let out =
+              Option.value out
+                ~default:
+                  (Printf.sprintf "%s-replay-c%d.vcd" bug.Bug.id
+                     ck.Checkpoint.ck_cycle)
+            in
+            let oc = open_out out in
+            output_string oc (Option.value report.Bug.vcd ~default:"");
+            close_out oc;
+            Printf.printf "restored %s at cycle %d (tag %s)\n" path
+              ck.Checkpoint.ck_cycle ck.Checkpoint.ck_tag;
+            Printf.printf "replayed cycles %d..%d; wrote %s\n"
+              ck.Checkpoint.ck_cycle report.Bug.cycles out
+    with Checkpoint.Checkpoint_error msg ->
+      Printf.eprintf "checkpoint error: %s\n" msg;
+      exit 1
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const run $ bug_arg $ from_arg $ window_arg $ bisect_arg
+          $ every_arg $ out_arg)
 
 (* --- profile -------------------------------------------------------- *)
 
@@ -684,7 +806,13 @@ let campaign_cmd =
          & info [ "json" ] ~docv:"FILE"
              ~doc:"Also write the fpga-debug-campaign/1 JSON report")
   in
-  let run jobs bugs differential sweep json =
+  let replay_arg =
+    Arg.(value & opt (some int) None
+         & info [ "replay" ] ~docv:"K"
+             ~doc:"Also run a checkpoint/replay determinism job per bug \
+                   (checkpoint every K cycles)")
+  in
+  let run jobs bugs differential sweep json replay_every =
     let bugs =
       match bugs with
       | None -> Registry.all
@@ -705,7 +833,10 @@ let campaign_cmd =
           String.split_on_char ',' list |> List.map String.trim
           |> List.map int_of_string
     in
-    let c = Fpga_campaign.Campaign.run ?domains:jobs ~differential ~sweeps bugs in
+    let c =
+      Fpga_campaign.Campaign.run ?domains:jobs ~differential ~sweeps
+        ?replay_every bugs
+    in
     Fpga_campaign.Campaign.print c;
     (match json with
     | None -> ()
@@ -718,7 +849,7 @@ let campaign_cmd =
   in
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(const run $ jobs_arg $ bugs_arg $ differential_arg $ sweep_arg
-          $ json_arg)
+          $ json_arg $ replay_arg)
 
 (* --- report --------------------------------------------------------- *)
 
@@ -764,6 +895,7 @@ let () =
        (Cmd.group info
           [
             list_cmd; repro_cmd; fsm_cmd; stats_cmd; deps_cmd; losscheck_cmd;
-            instrument_cmd; vcd_cmd; profile_cmd; lint_cmd; wavediff_cmd;
-            snippets_cmd; export_cmd; sim_cmd; report_cmd; campaign_cmd;
+            instrument_cmd; vcd_cmd; checkpoint_cmd; replay_cmd; profile_cmd;
+            lint_cmd; wavediff_cmd; snippets_cmd; export_cmd; sim_cmd;
+            report_cmd; campaign_cmd;
           ]))

@@ -237,6 +237,76 @@ let sweep_job ~cycles (bug : Bug.t) : verdict job =
         });
   }
 
+(* Checkpoint/replay determinism over one bug: record a checkpoint
+   stream, restore the middle snapshot through the serialized wire
+   format, and demand the replayed window be byte-identical to the
+   straight run - waveform included. This is the campaign-scale form
+   of the replay gate CI runs on a single bug. *)
+let replay_job ~every (bug : Bug.t) : verdict job =
+  {
+    label = Printf.sprintf "replay:%s:%d" bug.Bug.id every;
+    work =
+      (fun () ->
+        let module Replay = Fpga_testbed.Replay in
+        let module Checkpoint = Fpga_sim.Checkpoint in
+        let rc = Replay.record ~every bug in
+        match rc.Replay.rec_checkpoints with
+        | [] ->
+            {
+              v_bug = bug.Bug.id;
+              v_kind = Printf.sprintf "replay:%d" every;
+              v_cycles = rc.Replay.rec_report.Bug.cycles;
+              v_ok = true;
+              v_detail =
+                Printf.sprintf
+                  "no checkpoints: run ended after %d cycles (< every=%d)"
+                  rc.Replay.rec_report.Bug.cycles every;
+              v_symptoms = [];
+              v_log = rc.Replay.rec_report.Bug.log;
+              v_vcd = None;
+            }
+        | cps ->
+            let mid = List.nth cps ((List.length cps - 1) / 2) in
+            (* round-trip through the wire format so the job also
+               exercises serialization, not just in-memory restore *)
+            let mid = Checkpoint.of_string (Checkpoint.to_string mid) in
+            let design = Bug.design_of bug ~buggy:true in
+            let straight =
+              Bug.run_design ~vcd:true ~vcd_from:mid.Checkpoint.ck_cycle bug
+                design
+            in
+            let replayed = Replay.replay ~from:mid bug in
+            let agree =
+              straight.Bug.vcd = replayed.Bug.vcd
+              && straight.Bug.rows = replayed.Bug.rows
+              && straight.Bug.log = replayed.Bug.log
+              && straight.Bug.stuck = replayed.Bug.stuck
+              && straight.Bug.finished = replayed.Bug.finished
+              && straight.Bug.cycles = replayed.Bug.cycles
+            in
+            {
+              v_bug = bug.Bug.id;
+              v_kind = Printf.sprintf "replay:%d" every;
+              v_cycles =
+                rc.Replay.rec_report.Bug.cycles + straight.Bug.cycles
+                + (replayed.Bug.cycles - mid.Checkpoint.ck_cycle);
+              v_ok = agree;
+              v_detail =
+                (if agree then
+                   Printf.sprintf
+                     "replay from cycle %d identical to straight run \
+                      (%d-cycle window)"
+                     mid.Checkpoint.ck_cycle
+                     (replayed.Bug.cycles - mid.Checkpoint.ck_cycle)
+                 else
+                   Printf.sprintf "replay from cycle %d DIVERGES"
+                     mid.Checkpoint.ck_cycle);
+              v_symptoms = [];
+              v_log = replayed.Bug.log;
+              v_vcd = replayed.Bug.vcd;
+            });
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Campaign = job list + pool run + aggregates                         *)
 (* ------------------------------------------------------------------ *)
@@ -247,17 +317,22 @@ type t = {
   c_cycles : int;  (* simulated cycles across all jobs *)
 }
 
-let jobs_of ?(differential = false) ?(sweeps = []) (bugs : Bug.t list) :
-    verdict job array =
+let jobs_of ?(differential = false) ?(sweeps = []) ?replay_every
+    (bugs : Bug.t list) : verdict job array =
   let repro = List.map repro_job bugs in
   let diff = if differential then List.map differential_job bugs else [] in
   let sweep =
     List.concat_map (fun c -> List.map (sweep_job ~cycles:c) bugs) sweeps
   in
-  Array.of_list (repro @ diff @ sweep)
+  let replay =
+    match replay_every with
+    | Some every when every > 0 -> List.map (replay_job ~every) bugs
+    | _ -> []
+  in
+  Array.of_list (repro @ diff @ sweep @ replay)
 
-let run ?domains ?differential ?sweeps (bugs : Bug.t list) : t =
-  let jobs = jobs_of ?differential ?sweeps bugs in
+let run ?domains ?differential ?sweeps ?replay_every (bugs : Bug.t list) : t =
+  let jobs = jobs_of ?differential ?sweeps ?replay_every bugs in
   let results, stats = run_pool ?domains jobs in
   let cycles =
     Array.fold_left

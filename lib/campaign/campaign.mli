@@ -69,6 +69,14 @@ val differential_job : Fpga_testbed.Bug.t -> verdict job
 val sweep_job : cycles:int -> Fpga_testbed.Bug.t -> verdict job
 (** Buggy run under a non-default cycle budget. *)
 
+val replay_job : every:int -> Fpga_testbed.Bug.t -> verdict job
+(** Checkpoint/replay determinism: record a stream with a checkpoint
+    every [every] cycles, round-trip the middle snapshot through the
+    serialized wire format, replay it, and demand the window be
+    byte-identical to the straight run (rows, log, flags, and the full
+    waveform). Vacuously ok when the run is too short to produce a
+    checkpoint. *)
+
 (** {1 Campaign} *)
 
 type t = {
@@ -80,16 +88,19 @@ type t = {
 val jobs_of :
   ?differential:bool ->
   ?sweeps:int list ->
+  ?replay_every:int ->
   Fpga_testbed.Bug.t list ->
   verdict job array
 (** Repro jobs for every bug, plus kernel-differential pairs when
     [differential], plus one sweep job per (bug, cycle budget) in
-    [sweeps]. *)
+    [sweeps], plus one replay-determinism job per bug when
+    [replay_every] is set to a positive checkpoint interval. *)
 
 val run :
   ?domains:int ->
   ?differential:bool ->
   ?sweeps:int list ->
+  ?replay_every:int ->
   Fpga_testbed.Bug.t list ->
   t
 

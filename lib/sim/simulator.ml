@@ -942,3 +942,129 @@ let restore (sim : t) (snap : checkpoint) : unit =
   sim.mode_streak <- 0;
   wire_notify sim;
   mark_all sim
+
+(* ------------------------------------------------------------------ *)
+(* Serializable checkpoints                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The on-disk counterpart of [checkpoint]/[restore]: same state, but
+   name-keyed into the versioned [Checkpoint] wire format and bound to
+   the design by its structural hash. The dirty set, adaptive mode, and
+   NBA queue are derived or empty at cycle boundaries, so a restored
+   simulator re-derives them exactly as [restore] does. *)
+
+let save_checkpoint ?(tag = "") ?(meta = []) (sim : t) : Checkpoint.t =
+  let ck_values =
+    Array.to_list
+      (Array.mapi
+         (fun i name ->
+           let copy =
+             match sim.env.(i) with
+             | Compiled.Vec b -> Eval.Vec b
+             | Compiled.Mem a -> Eval.Mem (Array.copy a)
+           in
+           (name, copy))
+         sim.flat.f_signal_order)
+  in
+  let ck_prims =
+    List.map
+      (fun ps ->
+        match ps with
+        | Pfifo (cp, f) ->
+            Checkpoint.Cfifo
+              {
+                cf_name = cp.cp_src.fp_name;
+                cf_width = f.f_width;
+                cf_data = Array.copy f.f_data;
+                cf_head = f.f_head;
+                cf_count = f.f_count;
+              }
+        | Pram (cp, r) ->
+            Checkpoint.Cram
+              {
+                cr_name = cp.cp_src.fp_name;
+                cr_width = Bits.width r.r_q;
+                cr_q = r.r_q;
+                cr_words = Array.copy r.r_words;
+              })
+      sim.prims
+  in
+  {
+    Checkpoint.ck_design = Checkpoint.design_hash sim.flat;
+    ck_tag = tag;
+    ck_cycle = sim.cycle;
+    ck_finished = sim.finished;
+    ck_values;
+    ck_prims;
+    ck_log = log sim;
+    ck_meta = meta;
+  }
+
+let ck_fail fmt =
+  Printf.ksprintf (fun s -> raise (Checkpoint.Checkpoint_error s)) fmt
+
+let restore_checkpoint (sim : t) (ck : Checkpoint.t) : unit =
+  let here = Checkpoint.design_hash sim.flat in
+  if ck.Checkpoint.ck_design <> here then
+    ck_fail
+      "checkpoint%s was taken from a different design (signature %s, this \
+       simulator has %s)"
+      (if ck.Checkpoint.ck_tag = "" then ""
+       else Printf.sprintf " %S" ck.Checkpoint.ck_tag)
+      ck.Checkpoint.ck_design here;
+  List.iter
+    (fun (name, v) ->
+      match find_id sim name with
+      | None -> ck_fail "checkpoint signal %s does not exist in the design" name
+      | Some i -> (
+          match (sim.env.(i), v) with
+          | Compiled.Vec old, Eval.Vec b ->
+              if Bits.width b <> Bits.width old then
+                ck_fail "checkpoint signal %s has width %d, design has %d" name
+                  (Bits.width b) (Bits.width old)
+              else sim.env.(i) <- Compiled.Vec b
+          | Compiled.Mem old, Eval.Mem a ->
+              if Array.length a <> Array.length old then
+                ck_fail "checkpoint memory %s has %d words, design has %d" name
+                  (Array.length a) (Array.length old)
+              else sim.env.(i) <- Compiled.Mem (Array.copy a)
+          | Compiled.Vec _, Eval.Mem _ | Compiled.Mem _, Eval.Vec _ ->
+              ck_fail "checkpoint signal %s has the wrong shape" name))
+    ck.Checkpoint.ck_values;
+  List.iter
+    (fun ckp ->
+      let find name =
+        List.find_opt
+          (fun ps ->
+            match ps with
+            | Pfifo (cp, _) | Pram (cp, _) -> cp.cp_src.fp_name = name)
+          sim.prims
+      in
+      match ckp with
+      | Checkpoint.Cfifo { cf_name; cf_data; cf_head; cf_count; _ } -> (
+          match find cf_name with
+          | Some (Pfifo (_, st)) when Array.length cf_data = st.f_depth ->
+              Array.blit cf_data 0 st.f_data 0 st.f_depth;
+              st.f_head <- cf_head;
+              st.f_count <- cf_count
+          | _ -> ck_fail "checkpoint FIFO %s does not match the design" cf_name)
+      | Checkpoint.Cram { cr_name; cr_q; cr_words; _ } -> (
+          match find cr_name with
+          | Some (Pram (_, st))
+            when Array.length cr_words = Array.length st.r_words ->
+              Array.blit cr_words 0 st.r_words 0 (Array.length st.r_words);
+              st.r_q <- cr_q
+          | _ -> ck_fail "checkpoint RAM %s does not match the design" cr_name))
+    ck.Checkpoint.ck_prims;
+  sim.cycle <- ck.Checkpoint.ck_cycle;
+  sim.finished <- ck.Checkpoint.ck_finished;
+  sim.log <- List.rev ck.Checkpoint.ck_log;
+  sim.log_len <- List.length ck.Checkpoint.ck_log;
+  sim.log_memo <- (-1, []);
+  sim.mode <- Sparse;
+  sim.mode_streak <- 0;
+  wire_notify sim;
+  mark_all sim;
+  (* primitive outputs must reflect the restored contents before the
+     next settle, exactly as [create] does for the initial state *)
+  List.iter (drive_prim_outputs sim) sim.prims

@@ -147,3 +147,28 @@ type checkpoint
 
 val checkpoint : t -> checkpoint
 val restore : t -> checkpoint -> unit
+
+(** {2 Serializable checkpoints}
+
+    The on-disk counterpart of {!checkpoint}/{!restore}: the same
+    architectural state, name-keyed into the versioned, content-hashed
+    {!Checkpoint} wire format and bound to the design by its structural
+    hash. Restoring a serialized checkpoint and stepping yields results
+    bit-identical to a run that never stopped — the replay-determinism
+    property the CI replay gate enforces. *)
+
+val save_checkpoint :
+  ?tag:string -> ?meta:(string * string) list -> t -> Checkpoint.t
+(** Snapshot the complete state at the current cycle boundary. [tag]
+    records free-form provenance (e.g. the bug id); [meta] is an
+    open-ended key/value section for harness replay state (observed
+    rows, monitor flags, stimulus seeds). *)
+
+val restore_checkpoint : t -> Checkpoint.t -> unit
+(** Restore a snapshot into a simulator built from the same design.
+    Raises {!Checkpoint.Checkpoint_error} when the checkpoint's design
+    signature, a signal's width/shape, or a primitive's geometry does
+    not match — a checkpoint can never be silently restored into a
+    different design. The event-driven kernel restarts in sparse mode
+    with every node dirty (a conservative superset that re-derives the
+    schedule without affecting results). *)

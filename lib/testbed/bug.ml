@@ -74,7 +74,71 @@ type report = {
 let design_of bug ~buggy =
   Fpga_hdl.Parser.parse_design (if buggy then bug.buggy_src else bug.fixed_src)
 
-let run_design ?(vcd = false) ?kernel ?max_cycles (bug : t)
+(* ------------------------------------------------------------------ *)
+(* Harness state in checkpoint metadata                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A checkpoint captures the simulator; the testbed harness around it
+   (observed output rows, the external-monitor flag, the completion
+   flag) lives in the checkpoint's metadata section so a replayed run
+   reports exactly what an uninterrupted run would. Row names are
+   Verilog identifiers and values are ints, so a flat
+   "cycle:name=value,...;..." encoding round-trips losslessly. *)
+
+let encode_rows (rows : (int * (string * int) list) list) : string =
+  String.concat ";"
+    (List.map
+       (fun (c, row) ->
+         Printf.sprintf "%d:%s" c
+           (String.concat ","
+              (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) row)))
+       rows)
+
+let decode_rows (s : string) : (int * (string * int) list) list =
+  if s = "" then []
+  else
+    String.split_on_char ';' s
+    |> List.map (fun entry ->
+           match String.split_on_char ':' entry with
+           | [ c; row ] ->
+               ( int_of_string c,
+                 if row = "" then []
+                 else
+                   String.split_on_char ',' row
+                   |> List.map (fun kv ->
+                          match String.split_on_char '=' kv with
+                          | [ k; v ] -> (k, int_of_string v)
+                          | _ -> failwith "malformed row binding") )
+           | _ -> failwith "malformed row entry")
+
+type harness = {
+  h_rows : (int * (string * int) list) list;  (* oldest first *)
+  h_ext : bool;
+  h_satisfied : bool;
+}
+
+let meta_of_harness h =
+  [
+    ("harness.rows", encode_rows h.h_rows);
+    ("harness.ext", if h.h_ext then "1" else "0");
+    ("harness.satisfied", if h.h_satisfied then "1" else "0");
+  ]
+
+let harness_of_meta meta =
+  let get k = List.assoc_opt k meta in
+  try
+    {
+      h_rows = (match get "harness.rows" with Some s -> decode_rows s | None -> []);
+      h_ext = get "harness.ext" = Some "1";
+      h_satisfied = get "harness.satisfied" = Some "1";
+    }
+  with _ ->
+    raise
+      (Fpga_sim.Checkpoint.Checkpoint_error
+         "checkpoint carries malformed harness metadata")
+
+let run_design ?(vcd = false) ?(vcd_from = 0) ?kernel ?max_cycles
+    ?checkpoint_every ?on_checkpoint ?from_checkpoint (bug : t)
     (design : Ast.design) : report =
   let max_cycles = Option.value max_cycles ~default:bug.max_cycles in
   let flat = Fpga_sim.Elaborate.elaborate design ~top:bug.top in
@@ -83,17 +147,44 @@ let run_design ?(vcd = false) ?kernel ?max_cycles (bug : t)
     | Some kernel -> Simulator.create ~kernel flat
     | None -> Simulator.create flat
   in
-  let dump = if vcd then Some (Fpga_sim.Vcd.create flat) else None in
   let rows = ref [] in
   let ext = ref false in
   let satisfied = ref false in
-  let i = ref 0 in
+  (* Resuming from a checkpoint restores both halves of the state: the
+     simulator itself and the harness observations accumulated up to
+     the capture cycle, so the loop continues exactly where the
+     original run was. *)
+  let start =
+    match from_checkpoint with
+    | None -> 0
+    | Some ck ->
+        Simulator.restore_checkpoint sim ck;
+        let h = harness_of_meta ck.Fpga_sim.Checkpoint.ck_meta in
+        rows := List.rev h.h_rows;
+        ext := h.h_ext;
+        satisfied := h.h_satisfied;
+        ck.Fpga_sim.Checkpoint.ck_cycle
+  in
+  let dump = if vcd then Some (Fpga_sim.Vcd.create flat) else None in
+  let capture_checkpoint () =
+    match on_checkpoint with
+    | None -> ()
+    | Some f ->
+        f
+          (Simulator.save_checkpoint ~tag:bug.id
+             ~meta:
+               (meta_of_harness
+                  { h_rows = List.rev !rows; h_ext = !ext;
+                    h_satisfied = !satisfied })
+             sim)
+  in
+  let i = ref start in
   while !i < max_cycles && (not (Simulator.finished sim)) && not !satisfied do
     List.iter (fun (n, v) -> Simulator.set_input sim n v) (bug.stimulus !i);
     Simulator.step sim;
     (match dump with
-    | Some d -> Fpga_sim.Vcd.sample d sim
-    | None -> ());
+    | Some d when !i >= vcd_from -> Fpga_sim.Vcd.sample d sim
+    | _ -> ());
     (match bug.sample sim with
     | Some row -> rows := (!i, row) :: !rows
     | None -> ());
@@ -102,6 +193,10 @@ let run_design ?(vcd = false) ?kernel ?max_cycles (bug : t)
     | _ -> ());
     (match bug.done_when with
     | Some cond when cond sim -> satisfied := true
+    | _ -> ());
+    (match checkpoint_every with
+    | Some every when every > 0 && (!i + 1) mod every = 0 ->
+        capture_checkpoint ()
     | _ -> ());
     incr i
   done;

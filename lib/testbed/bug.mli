@@ -52,7 +52,11 @@ type report = {
   rows : (int * (string * int) list) list;
   ext_error : bool;
   log : (int * string) list;
-  cycles : int;  (** cycles actually simulated *)
+  cycles : int;
+      (** the cycle count the run ended at. For a straight run this is
+          the number of cycles simulated; for a run resumed
+          [?from_checkpoint] it is the absolute end cycle, so straight
+          and replayed runs of the same window report the same value *)
   vcd : string option;  (** full VCD text when requested via [?vcd] *)
 }
 
@@ -60,16 +64,47 @@ val design_of : t -> buggy:bool -> Fpga_hdl.Ast.design
 
 val run_design :
   ?vcd:bool ->
+  ?vcd_from:int ->
   ?kernel:Fpga_sim.Simulator.kernel ->
   ?max_cycles:int ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Fpga_sim.Checkpoint.t -> unit) ->
+  ?from_checkpoint:Fpga_sim.Checkpoint.t ->
   t ->
   Fpga_hdl.Ast.design ->
   report
 (** Drive an arbitrary design (e.g. an instrumented one) with the bug's
     stimulus and observation hooks. [vcd] (default false) captures a
-    full waveform dump into the report; [kernel] picks the settle
-    kernel (default event-driven); [max_cycles] overrides the bug's
-    budget. *)
+    full waveform dump into the report; [vcd_from] (default 0) starts
+    waveform sampling at that cycle index, producing the windowed
+    reference a replayed run is diffed against; [kernel] picks the
+    settle kernel (default event-driven); [max_cycles] overrides the
+    bug's budget.
+
+    [checkpoint_every k] (with [on_checkpoint]) emits a serializable
+    {!Fpga_sim.Checkpoint.t} every [k] completed cycles; the snapshot's
+    metadata carries the harness state (rows observed so far, monitor
+    flags), so a resumed run reports exactly what the uninterrupted run
+    would. [from_checkpoint] restores such a snapshot — simulator and
+    harness state both — and continues from its cycle; combined with
+    [vcd] this re-simulates a window with a full waveform of {e all}
+    signals, byte-identical to the straight run's [vcd_from] window
+    (the replay-determinism property CI enforces). *)
+
+(** Harness state carried in checkpoint metadata — the observations the
+    loop in {!run_design} accumulates alongside the simulator. Exposed
+    so {!Replay} can probe a checkpoint's metadata without
+    deserializing or re-simulating anything. *)
+type harness = {
+  h_rows : (int * (string * int) list) list;  (** oldest first *)
+  h_ext : bool;
+  h_satisfied : bool;
+}
+
+val harness_of_meta : (string * string) list -> harness
+(** Decode the harness section of a checkpoint's metadata. Raises
+    {!Fpga_sim.Checkpoint.Checkpoint_error} when the metadata is
+    malformed. *)
 
 val run : t -> buggy:bool -> report
 

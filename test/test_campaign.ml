@@ -144,6 +144,29 @@ let test_pool_merges_telemetry () =
   check_int "caller's own sink untouched by workers" 0
     (Telemetry.Counter.value counter)
 
+(* The replay job proves checkpoint/replay determinism per bug: a
+   window replayed from the serialized middle snapshot is byte-identical
+   to the straight run, and a too-short run is vacuously ok. *)
+let test_replay_jobs () =
+  let bugs =
+    List.map (fun id -> Option.get (Registry.find id)) [ "D2"; "D8" ]
+  in
+  let c = Campaign.run ~domains:2 ~replay_every:50 bugs in
+  check_bool "replay jobs all ok" true (Campaign.ok c);
+  let find label =
+    Array.to_list c.Campaign.c_results
+    |> List.find (fun r -> r.Campaign.jr_label = label)
+  in
+  (match (find "replay:D2:50").Campaign.jr_value with
+  | Ok v -> check_bool "D2 replayed a real window" true
+      (contains v.Campaign.v_detail "identical to straight run")
+  | Error e -> Alcotest.failf "replay:D2:50 raised: %s" e);
+  match (find "replay:D8:50").Campaign.jr_value with
+  | Ok v ->
+      check_bool "short run is vacuously ok" true
+        (contains v.Campaign.v_detail "no checkpoints")
+  | Error e -> Alcotest.failf "replay:D8:50 raised: %s" e
+
 let suite =
   [
     Alcotest.test_case "pool preserves submission order" `Quick
@@ -154,6 +177,8 @@ let suite =
     Alcotest.test_case "full-testbed campaign deterministic across widths"
       `Quick test_campaign_determinism;
     Alcotest.test_case "json report schema-pinned" `Quick test_to_json_schema;
+    Alcotest.test_case "replay jobs prove checkpoint determinism" `Quick
+      test_replay_jobs;
     Alcotest.test_case "worker telemetry merged at join" `Quick
       test_pool_merges_telemetry;
   ]

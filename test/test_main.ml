@@ -12,4 +12,5 @@ let () =
       ("report", Test_report.suite);
       ("telemetry", Test_telemetry.suite);
       ("campaign", Test_campaign.suite);
+      ("checkpoint", Test_checkpoint.suite);
     ]
