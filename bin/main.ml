@@ -851,6 +851,84 @@ let campaign_cmd =
     Term.(const run $ jobs_arg $ bugs_arg $ differential_arg $ sweep_arg
           $ json_arg $ replay_arg)
 
+(* --- fuzz ----------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let doc =
+    "Run a differential fuzzing campaign: deterministic seed-driven \
+     mutants of the testbed designs, each valid mutant simulated under \
+     the event-driven vs brute-force kernels and with telemetry on vs \
+     off on a pool of domains. Any disagreement is a kernel bug found \
+     by the system itself; it is greedily minimized and dumped as a \
+     plain-Verilog reproducer. The same seed replays the same corpus, \
+     classifications, and JSON byte-identically at any --jobs width."
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed (mutant index i \
+                                           uses sub-seed derive(N, i))")
+  in
+  let mutants_arg =
+    Arg.(value & opt int 200
+         & info [ "mutants" ] ~docv:"K" ~doc:"Number of mutants to generate")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Worker domains (default: the machine's recommended count)")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the fpga-debug-fuzz/1 JSON report")
+  in
+  let repro_arg =
+    Arg.(value & opt (some string) None
+         & info [ "repro-dir" ] ~docv:"DIR"
+             ~doc:"Write a .v reproducer per kernel mismatch into DIR")
+  in
+  let run seed mutants jobs json repro_dir =
+    if mutants <= 0 then (
+      Printf.eprintf "--mutants must be positive\n";
+      exit 1);
+    let fc =
+      Fpga_campaign.Campaign.run_fuzz ?domains:jobs ~seed ~mutants ()
+    in
+    Fpga_campaign.Campaign.print_fuzz fc;
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Fpga_campaign.Campaign.fuzz_to_json fc);
+        close_out oc;
+        Printf.printf "\nwrote %s\n" path);
+    (match repro_dir with
+    | None -> ()
+    | Some dir ->
+        let findings = Fpga_campaign.Campaign.fuzz_findings fc in
+        if findings <> [] then (
+          (try Unix.mkdir dir 0o755
+           with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          List.iter
+            (fun (f : Fpga_fuzz.Fuzz.result) ->
+              match f.Fpga_fuzz.Fuzz.r_repro with
+              | None -> ()
+              | Some src ->
+                  let path =
+                    Filename.concat dir
+                      (Printf.sprintf "fuzz-%s-seed%d-%d.v"
+                         f.Fpga_fuzz.Fuzz.r_bug seed f.Fpga_fuzz.Fuzz.r_index)
+                  in
+                  let oc = open_out path in
+                  output_string oc src;
+                  close_out oc;
+                  Printf.printf "wrote %s\n" path)
+            findings));
+    if not (Fpga_campaign.Campaign.fuzz_ok fc) then exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ seed_arg $ mutants_arg $ jobs_arg $ json_arg $ repro_arg)
+
 (* --- report --------------------------------------------------------- *)
 
 let report_cmd =
@@ -897,5 +975,5 @@ let () =
             list_cmd; repro_cmd; fsm_cmd; stats_cmd; deps_cmd; losscheck_cmd;
             instrument_cmd; vcd_cmd; checkpoint_cmd; replay_cmd; profile_cmd;
             lint_cmd; wavediff_cmd; snippets_cmd; export_cmd; sim_cmd;
-            report_cmd; campaign_cmd;
+            report_cmd; campaign_cmd; fuzz_cmd;
           ]))

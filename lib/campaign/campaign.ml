@@ -54,6 +54,9 @@ let now = Unix.gettimeofday
    it never takes down the pool or skips the remaining queue. *)
 let run_pool ?domains (jobs : 'a job array) :
     'a job_result array * pool_stats =
+  (* error isolation must not cost context: the Error result carries
+     the backtrace, not just the exception text *)
+  Printexc.record_backtrace true;
   let n = Array.length jobs in
   let domains =
     match domains with
@@ -68,6 +71,7 @@ let run_pool ?domains (jobs : 'a job array) :
      telemetry; slot [i] of [results] is written by exactly the worker
      that claimed index [i]. *)
   let worker wid () =
+    Printexc.record_backtrace true;
     let busy = ref 0.0 in
     let rec drain () =
       let i = Atomic.fetch_and_add next 1 in
@@ -76,7 +80,11 @@ let run_pool ?domains (jobs : 'a job array) :
         let jt0 = now () in
         let value =
           try Ok (job.work ())
-          with e -> Error (Printexc.to_string e)
+          with e ->
+            let bt = Printexc.get_backtrace () in
+            Error
+              (Printexc.to_string e
+              ^ if String.trim bt = "" then "" else "\n" ^ String.trim bt)
         in
         let wall = now () -. jt0 in
         busy := !busy +. wall;
@@ -461,3 +469,160 @@ let print (c : t) =
        float_of_int (Array.length c.c_results) /. c.c_stats.ps_wall
      else 0.0)
     (100.0 *. c.c_stats.ps_utilization)
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz campaigns                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Fuzz = Fpga_fuzz.Fuzz
+module Mutate = Fpga_fuzz.Mutate
+
+(* One mutant end to end: generation happens inside the job from
+   (seed, index) alone, so the job is self-contained and the pool's
+   slot-by-submission-index ordering makes any jobs width produce the
+   same results array. *)
+let fuzz_job ~seed ~index : Fuzz.result job =
+  {
+    label =
+      Printf.sprintf "fuzz:%d:%s" index (Fuzz.target_of_index index).Bug.id;
+    work = (fun () -> Fuzz.run_one ~seed ~index);
+  }
+
+type fuzz_campaign = {
+  f_seed : int;
+  f_results : Fuzz.result job_result array;  (* ordered by mutant index *)
+  f_stats : pool_stats;
+}
+
+let run_fuzz ?domains ~seed ~mutants () : fuzz_campaign =
+  let jobs = Array.init mutants (fun index -> fuzz_job ~seed ~index) in
+  let results, stats = run_pool ?domains jobs in
+  { f_seed = seed; f_results = results; f_stats = stats }
+
+let fuzz_findings (fc : fuzz_campaign) : Fuzz.result list =
+  Array.to_list fc.f_results
+  |> List.filter_map (fun r ->
+         match r.jr_value with
+         | Ok ({ Fuzz.r_outcome = Fuzz.Kernel_mismatch _; _ } as f) -> Some f
+         | _ -> None)
+
+(* ok = every job ran (no pool-level errors) and none found a kernel
+   mismatch — the CI gate for fuzz-smoke. *)
+let fuzz_ok (fc : fuzz_campaign) =
+  Array.for_all
+    (fun r ->
+      match r.jr_value with
+      | Ok { Fuzz.r_outcome = Fuzz.Kernel_mismatch _; _ } -> false
+      | Ok _ -> true
+      | Error _ -> false)
+    fc.f_results
+
+let fuzz_counts (fc : fuzz_campaign) =
+  let invalid = ref 0
+  and equivalent = ref 0
+  and divergent = ref 0
+  and mismatch = ref 0
+  and errors = ref 0 in
+  Array.iter
+    (fun r ->
+      match r.jr_value with
+      | Ok { Fuzz.r_outcome = Fuzz.Invalid _; _ } -> incr invalid
+      | Ok { Fuzz.r_outcome = Fuzz.Equivalent; _ } -> incr equivalent
+      | Ok { Fuzz.r_outcome = Fuzz.Symptom_divergent _; _ } -> incr divergent
+      | Ok { Fuzz.r_outcome = Fuzz.Kernel_mismatch _; _ } -> incr mismatch
+      | Error _ -> incr errors)
+    fc.f_results;
+  (!invalid, !equivalent, !divergent, !mismatch, !errors)
+
+(* Schema-pinned fuzz report. Deliberately free of wall times, worker
+   ids, domain counts, and telemetry: the acceptance criterion is that
+   the same seed produces byte-identical JSON across runs and across
+   --jobs widths, so only deterministic fields may appear. Reproducer
+   sources are summarized as (bytes, MD5); the full text goes to
+   --repro-dir files, not the report. *)
+let fuzz_to_json (fc : fuzz_campaign) : string =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let str_list ss =
+    String.concat ", " (List.map (fun s -> Printf.sprintf "\"%s\"" (json_escape s)) ss)
+  in
+  add "{\n  \"schema\": \"fpga-debug-fuzz/1\",\n";
+  add "  \"seed\": %d,\n" fc.f_seed;
+  add "  \"mutants\": %d,\n" (Array.length fc.f_results);
+  add "  \"targets\": [%s],\n"
+    (str_list (List.map (fun (b : Bug.t) -> b.Bug.id) Fuzz.targets));
+  let invalid, equivalent, divergent, mismatch, errors = fuzz_counts fc in
+  add
+    "  \"counts\": {\"invalid\": %d, \"equivalent\": %d, \
+     \"symptom_divergent\": %d, \"kernel_mismatch\": %d, \"job_errors\": \
+     %d},\n"
+    invalid equivalent divergent mismatch errors;
+  add "  \"results\": [\n";
+  let n = Array.length fc.f_results in
+  Array.iteri
+    (fun i r ->
+      add "    {\"index\": %d, " i;
+      (match r.jr_value with
+      | Error e -> add "\"error\": \"%s\"" (json_escape e)
+      | Ok f ->
+          add "\"bug\": %S, \"sub_seed\": %d, \"outcome\": %S, " f.Fuzz.r_bug
+            f.Fuzz.r_sub_seed
+            (Fuzz.outcome_name f.Fuzz.r_outcome);
+          add "\"mutations\": [%s], "
+            (str_list (List.map Mutate.mutation_to_string f.Fuzz.r_mutations));
+          add "\"detail\": \"%s\""
+            (json_escape (Fuzz.outcome_detail f.Fuzz.r_outcome)));
+      add "}%s\n" (if i = n - 1 then "" else ","))
+    fc.f_results;
+  add "  ],\n";
+  let findings = fuzz_findings fc in
+  add "  \"findings\": [\n";
+  let nf = List.length findings in
+  List.iteri
+    (fun i f ->
+      add "    {\"index\": %d, \"bug\": %S, \"mismatch\": \"%s\", "
+        f.Fuzz.r_index f.Fuzz.r_bug
+        (json_escape (Fuzz.outcome_detail f.Fuzz.r_outcome));
+      add "\"minimized\": [%s], "
+        (str_list (List.map Mutate.mutation_to_string f.Fuzz.r_minimized));
+      (match f.Fuzz.r_repro with
+      | Some src ->
+          add "\"repro_bytes\": %d, \"repro_md5\": %S" (String.length src)
+            (Digest.to_hex (Digest.string src))
+      | None -> add "\"repro_bytes\": 0, \"repro_md5\": \"\"");
+      add "}%s\n" (if i = nf - 1 then "" else ","))
+    findings;
+  add "  ]\n}\n";
+  Buffer.contents buf
+
+let print_fuzz (fc : fuzz_campaign) =
+  let invalid, equivalent, divergent, mismatch, errors = fuzz_counts fc in
+  Printf.printf "fuzz campaign: seed %d, %d mutants on %d domain%s\n\n"
+    fc.f_seed (Array.length fc.f_results) fc.f_stats.ps_domains
+    (if fc.f_stats.ps_domains = 1 then "" else "s");
+  Printf.printf
+    "  %d equivalent, %d symptom-divergent, %d invalid, %d kernel \
+     mismatch%s, %d job error%s\n"
+    equivalent divergent invalid mismatch
+    (if mismatch = 1 then "" else "es")
+    errors
+    (if errors = 1 then "" else "s");
+  Array.iter
+    (fun r ->
+      match r.jr_value with
+      | Ok ({ Fuzz.r_outcome = Fuzz.Kernel_mismatch why; _ } as f) ->
+          Printf.printf "\n  FINDING %s (mutant %d, sub-seed %d): %s\n"
+            f.Fuzz.r_bug f.Fuzz.r_index f.Fuzz.r_sub_seed why;
+          List.iter
+            (fun mu ->
+              Printf.printf "    %s\n" (Mutate.mutation_to_string mu))
+            f.Fuzz.r_minimized
+      | Ok _ -> ()
+      | Error e -> Printf.printf "\n  JOB ERROR %s: %s\n" r.jr_label e)
+    fc.f_results;
+  Printf.printf "\n  %.3f s wall, %.2f mutants/s, pool utilization %.0f%%\n"
+    fc.f_stats.ps_wall
+    (if fc.f_stats.ps_wall > 0.0 then
+       float_of_int (Array.length fc.f_results) /. fc.f_stats.ps_wall
+     else 0.0)
+    (100.0 *. fc.f_stats.ps_utilization)

@@ -113,3 +113,36 @@ val to_json : t -> string
     per-worker busy time, pool utilization, and merged telemetry. *)
 
 val print : t -> unit
+
+(** {1 Fuzz campaigns}
+
+    The differential fuzzing job kind: each job is one mutant of
+    {!Fpga_fuzz.Fuzz.run_one}, generated inside the job from
+    [(seed, index)] alone, so the pool's slot-by-submission-index
+    ordering makes any [--jobs] width produce the same results. *)
+
+val fuzz_job : seed:int -> index:int -> Fpga_fuzz.Fuzz.result job
+
+type fuzz_campaign = {
+  f_seed : int;
+  f_results : Fpga_fuzz.Fuzz.result job_result array;
+      (** ordered by mutant index *)
+  f_stats : pool_stats;
+}
+
+val run_fuzz : ?domains:int -> seed:int -> mutants:int -> unit -> fuzz_campaign
+
+val fuzz_ok : fuzz_campaign -> bool
+(** No kernel-mismatch classifications and no pool-level job errors —
+    the fuzz-smoke CI gate. *)
+
+val fuzz_findings : fuzz_campaign -> Fpga_fuzz.Fuzz.result list
+(** The kernel mismatches, in mutant-index order. *)
+
+val fuzz_to_json : fuzz_campaign -> string
+(** Schema [fpga-debug-fuzz/1]. Contains only deterministic fields (no
+    wall times, worker ids, domain counts, or telemetry): the same
+    seed yields byte-identical JSON across runs and [--jobs] widths.
+    Reproducer sources are summarized as (bytes, MD5). *)
+
+val print_fuzz : fuzz_campaign -> unit

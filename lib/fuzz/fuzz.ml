@@ -1,0 +1,274 @@
+(* Differential fuzz driver.
+
+   A mutant is a pure function of (seed, index): the index picks the
+   target design round-robin and [Mutate.derive seed index] seeds the
+   per-mutant PRNG, so generation needs no shared state and any worker
+   of the campaign pool reproduces any mutant in isolation — the
+   property that makes parallel fuzz runs byte-identical to serial
+   ones and `fpga-debug fuzz --seed N` a replay command.
+
+   Classification compares four runs of the same harness:
+
+     event kernel  vs  brute-force kernel     (scheduling differential)
+     event kernel  vs  event + telemetry on   (observer differential)
+     event kernel  vs  the unmutated design   (symptom differential)
+
+   The first two disagreeing is a kernel/tool bug (the finding); the
+   third is just the injected bug's symptom. Crashes are part of the
+   observable behavior: one kernel raising while the other completes,
+   or both raising differently, is a mismatch too. *)
+
+module Ast = Fpga_hdl.Ast
+module Pp = Fpga_hdl.Pp_verilog
+module Bug = Fpga_testbed.Bug
+module Registry = Fpga_testbed.Registry
+module Simulator = Fpga_sim.Simulator
+module Taxonomy = Fpga_study.Taxonomy
+module Telemetry = Fpga_telemetry.Telemetry
+
+type outcome =
+  | Invalid of string
+  | Equivalent
+  | Symptom_divergent of string list
+  | Kernel_mismatch of string
+
+let outcome_name = function
+  | Invalid _ -> "invalid"
+  | Equivalent -> "equivalent"
+  | Symptom_divergent _ -> "symptom-divergent"
+  | Kernel_mismatch _ -> "kernel-mismatch"
+
+let outcome_detail = function
+  | Invalid reason -> reason
+  | Equivalent -> ""
+  | Symptom_divergent symptoms -> String.concat "; " symptoms
+  | Kernel_mismatch why -> why
+
+type result = {
+  r_seed : int;
+  r_index : int;
+  r_sub_seed : int;
+  r_bug : string;
+  r_mutations : Mutate.mutation list;
+  r_outcome : outcome;
+  r_minimized : Mutate.mutation list;
+  r_repro : string option;
+}
+
+let targets = Registry.fuzz_targets
+
+let target_of_index index =
+  List.nth targets (index mod List.length targets)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus generation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* 1-3 stacked mutations of the bug's FIXED design: starting from
+   correct code makes "symptom-divergent" mean "the mutation injected
+   a bug", mirroring how the study's 13 subclasses arose in real
+   designs. Mutating an already-buggy design would only blur that
+   reading; the kernels must agree either way. *)
+let generate ~seed ~index =
+  let bug = target_of_index index in
+  let r = Mutate.rng (Mutate.derive seed index) in
+  let base = Bug.design_of bug ~buggy:false in
+  let want = 1 + Mutate.rng_int r 3 in
+  let rec gen d acc k =
+    if k = 0 then (d, List.rev acc)
+    else
+      match Mutate.pick r d with
+      | Some (d', mu) -> gen d' (mu :: acc) (k - 1)
+      | None -> (d, List.rev acc)
+  in
+  let mutant, muts = gen base [] want in
+  (bug, mutant, muts)
+
+(* ------------------------------------------------------------------ *)
+(* Differential runs                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A crash is data, not a failure of the driver. *)
+let safe f = match f () with v -> Ok v | exception e -> Error (Printexc.to_string e)
+
+let run_kernel ?kernel bug d = safe (fun () -> Bug.run_design ?kernel bug d)
+
+(* Same kernel, telemetry recording on — instrumentation must be
+   observationally invisible. The worker's per-domain switch is
+   restored afterwards so the surrounding campaign stays uninstrumented. *)
+let run_instrumented bug d =
+  safe (fun () ->
+      let was = Telemetry.enabled () in
+      if not was then Telemetry.enable ();
+      Fun.protect
+        ~finally:(fun () -> if not was then Telemetry.disable ())
+        (fun () -> Bug.run_design ~kernel:Simulator.Event_driven bug d))
+
+let diff_reports (a : Bug.report) (b : Bug.report) : string option =
+  if a.Bug.rows <> b.Bug.rows then
+    Some
+      (Printf.sprintf "output rows differ (%d vs %d rows)"
+         (List.length a.Bug.rows) (List.length b.Bug.rows))
+  else if a.Bug.log <> b.Bug.log then Some "$display logs differ"
+  else if a.Bug.stuck <> b.Bug.stuck then
+    Some (Printf.sprintf "stuck flag differs (%b vs %b)" a.Bug.stuck b.Bug.stuck)
+  else if a.Bug.finished <> b.Bug.finished then
+    Some
+      (Printf.sprintf "finished flag differs (%b vs %b)" a.Bug.finished
+         b.Bug.finished)
+  else if a.Bug.ext_error <> b.Bug.ext_error then
+    Some
+      (Printf.sprintf "external-monitor flag differs (%b vs %b)" a.Bug.ext_error
+         b.Bug.ext_error)
+  else if a.Bug.cycles <> b.Bug.cycles then
+    Some (Printf.sprintf "cycle counts differ (%d vs %d)" a.Bug.cycles b.Bug.cycles)
+  else None
+
+let diff_runs a b =
+  match (a, b) with
+  | Ok a, Ok b -> diff_reports a b
+  | Error e, Error f ->
+      if String.equal e f then None
+      else Some (Printf.sprintf "crashes differ (%s vs %s)" e f)
+  | Ok _, Error e -> Some ("second run crashed: " ^ e)
+  | Error e, Ok _ -> Some ("first run crashed: " ^ e)
+
+(* The finding predicate: do the two kernels, and the instrumented vs
+   uninstrumented event kernel, tell the same story about [d]? *)
+let mismatch_of bug d : string option =
+  let ev = run_kernel ~kernel:Simulator.Event_driven bug d in
+  let bf = run_kernel ~kernel:Simulator.Brute_force bug d in
+  match diff_runs ev bf with
+  | Some why -> Some ("event vs brute-force: " ^ why)
+  | None -> (
+      match diff_runs ev (run_instrumented bug d) with
+      | Some why -> Some ("telemetry-off vs telemetry-on: " ^ why)
+      | None -> None)
+
+let classify bug ~base d =
+  match Mutate.validate ~top:bug.Bug.top ~baseline:base d with
+  | Error reason -> Invalid reason
+  | Ok valid -> (
+      match mismatch_of bug valid with
+      | Some why -> Kernel_mismatch why
+      | None -> (
+          let mutant_run = run_kernel bug valid in
+          let base_run = run_kernel bug base in
+          match diff_runs mutant_run base_run with
+          | None -> Equivalent
+          | Some why ->
+              let symptoms =
+                match (mutant_run, base_run) with
+                | Ok m, Ok b ->
+                    Bug.symptoms_of ~buggy:m ~fixed:b
+                    |> List.map Taxonomy.symptom_name
+                | Error _, _ | _, Error _ -> [ "crash" ]
+              in
+              Symptom_divergent (if symptoms = [] then [ why ] else symptoms)))
+
+let classify_identity bug =
+  let base = Bug.design_of bug ~buggy:false in
+  classify bug ~base base
+
+(* ------------------------------------------------------------------ *)
+(* Minimization and reproducers                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Does mutation subset [ms], re-applied to the base design, still
+   produce a valid mutant with a kernel mismatch? (Sites re-resolve
+   against the evolving design, so a subset can denote slightly
+   different nodes than it did inside the full sequence — the check
+   keeps a subset only when the mismatch genuinely persists.) *)
+let check_subset bug base ms =
+  match Mutate.apply_all base ms with
+  | None -> None
+  | Some (d, ms') -> (
+      match Mutate.validate ~top:bug.Bug.top ~baseline:base d with
+      | Error _ -> None
+      | Ok valid -> (
+          match mismatch_of bug valid with
+          | Some why -> Some (ms', valid, why)
+          | None -> None))
+
+(* Greedy one-at-a-time reduction: drop the first mutation whose
+   removal preserves the mismatch, restart; fixed order makes the
+   minimizer as deterministic as the generator. *)
+let minimize bug base (muts, d, why) =
+  let rec shrink ((cur, _, _) as state) =
+    let n = List.length cur in
+    if n <= 1 then state
+    else
+      let rec try_drop i =
+        if i >= n then state
+        else
+          let candidate = List.filteri (fun j _ -> j <> i) cur in
+          match check_subset bug base candidate with
+          | Some smaller -> shrink smaller
+          | None -> try_drop (i + 1)
+      in
+      try_drop 0
+  in
+  shrink (muts, d, why)
+
+let repro_text ~bug ~seed ~index ~sub_seed ~why ~mutations design =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "// fpga-debug fuzz reproducer: kernel mismatch\n";
+  add "// target: %s (%s)  top: %s\n" bug.Bug.id bug.Bug.application bug.Bug.top;
+  add "// seed: %d  index: %d  sub-seed: %d\n" seed index sub_seed;
+  add "// replay: fpga-debug fuzz --seed %d --mutants %d\n" seed (index + 1);
+  add "// mismatch: %s\n" why;
+  add "// mutations (minimized):\n";
+  List.iter (fun mu -> add "//   %s\n" (Mutate.mutation_to_string mu)) mutations;
+  add "\n%s" (Pp.design_to_string design);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* One mutant, end to end                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_one ~seed ~index =
+  let sub_seed = Mutate.derive seed index in
+  let bug, mutant, muts = generate ~seed ~index in
+  let base = Bug.design_of bug ~buggy:false in
+  let mk outcome minimized repro =
+    {
+      r_seed = seed;
+      r_index = index;
+      r_sub_seed = sub_seed;
+      r_bug = bug.Bug.id;
+      r_mutations = muts;
+      r_outcome = outcome;
+      r_minimized = minimized;
+      r_repro = repro;
+    }
+  in
+  match Mutate.validate ~top:bug.Bug.top ~baseline:base mutant with
+  | Error reason -> mk (Invalid reason) muts None
+  | Ok valid -> (
+      match mismatch_of bug valid with
+      | Some why ->
+          let min_muts, min_design, min_why =
+            minimize bug base (muts, valid, why)
+          in
+          let repro =
+            repro_text ~bug ~seed ~index ~sub_seed ~why:min_why
+              ~mutations:min_muts min_design
+          in
+          mk (Kernel_mismatch min_why) min_muts (Some repro)
+      | None -> (
+          let mutant_run = run_kernel bug valid in
+          let base_run = run_kernel bug base in
+          match diff_runs mutant_run base_run with
+          | None -> mk Equivalent muts None
+          | Some why ->
+              let symptoms =
+                match (mutant_run, base_run) with
+                | Ok m, Ok b ->
+                    Bug.symptoms_of ~buggy:m ~fixed:b
+                    |> List.map Taxonomy.symptom_name
+                | Error _, _ | _, Error _ -> [ "crash" ]
+              in
+              mk
+                (Symptom_divergent (if symptoms = [] then [ why ] else symptoms))
+                muts None))

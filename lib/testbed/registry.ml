@@ -30,6 +30,16 @@ let ids = List.map (fun (b : Bug.t) -> b.Bug.id) all
 (* Bugs whose loss_spec makes them LossCheck targets. *)
 let loss_bugs = List.filter (fun (b : Bug.t) -> b.Bug.loss_spec <> None) all
 
+(* The designs the fuzz campaign mutates: cheap cycle budgets so four
+   differential runs per mutant stay fast, and between them every
+   structural feature a mutation template targets (IP instances in D4
+   and C4, case statements, concatenations, memories, reset logic). *)
+let fuzz_targets =
+  List.filter
+    (fun (b : Bug.t) ->
+      List.mem b.Bug.id [ "D2"; "D4"; "D8"; "D13"; "C4"; "S1"; "S2"; "S3" ])
+    all
+
 (* The extended reproductions beyond Table 2 (see Extended, App_cpu). *)
 let extended : Bug.t list = Extended.all @ [ App_cpu.e7; App_cpu.e8 ]
 

@@ -9,6 +9,12 @@ val loss_bugs : Bug.t list
 (** The bugs with a LossCheck specification — the section 6.3
     data-loss evaluation set. *)
 
+val fuzz_targets : Bug.t list
+(** The designs the fuzz campaign mutates ([D2 D4 D8 D13 C4 S1 S2
+    S3]): small cycle budgets, and between them every structural
+    feature an injection template targets (IP instances, case
+    statements, concatenations, memories, reset logic). *)
+
 val extended : Bug.t list
 (** Eight additional study bugs reproduced beyond Table 2 (E1-E8,
     including two on the reduced CPU core), completing push-button

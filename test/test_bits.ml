@@ -378,3 +378,85 @@ let differential_properties =
   ]
 
 let suite = suite @ List.map QCheck_alcotest.to_alcotest differential_properties
+
+(* --- directed limb-boundary cases ----------------------------------------- *)
+
+(* The differential properties above only sample the 63/64/65 straddle
+   widths; these pin the exact words so a limb-carry bug cannot hide
+   behind generator luck. Expected strings computed with arbitrary-
+   precision integer arithmetic. *)
+
+let test_mul_limb_boundaries () =
+  (* (2^w - 1)^2 mod 2^w = 1 at every straddle width *)
+  List.iter
+    (fun w ->
+      check_bool
+        (Printf.sprintf "ones^2 at width %d" w)
+        true
+        (Bits.equal (Bits.mul (Bits.ones w) (Bits.ones w)) (Bits.one w)))
+    [ 63; 64; 65 ];
+  let a w = Bits.of_hex_string ~width:w "123456789abcdef0" in
+  let b w = Bits.of_hex_string ~width:w "0fedcba987654321" in
+  check_string "mul 63" "2236d88fe5618cf0"
+    (Bits.to_hex_string (Bits.mul (a 63) (b 63)));
+  check_string "mul 64" "2236d88fe5618cf0"
+    (Bits.to_hex_string (Bits.mul (a 64) (b 64)));
+  check_string "mul 65" "02236d88fe5618cf0"
+    (Bits.to_hex_string (Bits.mul (a 65) (b 65)))
+
+let test_shift_limb_boundaries () =
+  let shl w k = Bits.to_hex_string (Bits.shift_left (Bits.one w) k) in
+  (* width 63: bit 62 is the MSB; shifting to 63 falls off the end *)
+  check_string "63: 1<<62" "4000000000000000" (shl 63 62);
+  check_string "63: 1<<63 overflows" "0000000000000000" (shl 63 63);
+  (* width 64: bit 63 is the MSB; 64 falls off *)
+  check_string "64: 1<<62" "4000000000000000" (shl 64 62);
+  check_string "64: 1<<63" "8000000000000000" (shl 64 63);
+  check_string "64: 1<<64 overflows" "0000000000000000" (shl 64 64);
+  (* width 65: bit 64 lives alone in the third 32-bit limb *)
+  check_string "65: 1<<63" "08000000000000000" (shl 65 63);
+  check_string "65: 1<<64" "10000000000000000" (shl 65 64);
+  (* and the MSB comes back down intact *)
+  List.iter
+    (fun w ->
+      let top = Bits.shift_left (Bits.one w) (w - 1) in
+      check_bool
+        (Printf.sprintf "%d: msb >> back" w)
+        true
+        (Bits.equal (Bits.shift_right top (w - 1)) (Bits.one w)))
+    [ 63; 64; 65 ]
+
+let test_set_slice_three_limbs () =
+  (* [70:10] of a width-100 vector touches 32-bit limbs 0, 1, and 2;
+     the inserted value is 61 bits, itself spanning two limbs *)
+  let chunk = Bits.of_hex_string ~width:61 "0bcdef0123456789" in
+  let into_ones =
+    Bits.set_slice (Bits.ones 100) ~hi:70 ~lo:10 chunk
+  in
+  check_string "insert into all-ones" "fffffffaf37bc048d159e27ff"
+    (Bits.to_hex_string into_ones);
+  let into_zero = Bits.set_slice (Bits.zero 100) ~hi:70 ~lo:10 chunk in
+  check_string "insert into zero" "00000002f37bc048d159e2400"
+    (Bits.to_hex_string into_zero);
+  (* the inserted window reads back exactly, and the guard bits on
+     either side of the window are untouched *)
+  check_bool "window reads back" true
+    (Bits.equal (Bits.slice into_zero ~hi:70 ~lo:10) chunk);
+  check_bool "low guard bits" true
+    (Bits.equal (Bits.slice into_ones ~hi:9 ~lo:0) (Bits.ones 10));
+  check_bool "high guard bits" true
+    (Bits.equal (Bits.slice into_ones ~hi:99 ~lo:71) (Bits.ones 29));
+  check_bool "zero base guards stay zero" true
+    (Bits.is_zero (Bits.slice into_zero ~hi:9 ~lo:0)
+    && Bits.is_zero (Bits.slice into_zero ~hi:99 ~lo:71))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "mul at widths 63/64/65" `Quick
+        test_mul_limb_boundaries;
+      Alcotest.test_case "shifts at widths 63/64/65" `Quick
+        test_shift_limb_boundaries;
+      Alcotest.test_case "set_slice spanning 3 limbs" `Quick
+        test_set_slice_three_limbs;
+    ]

@@ -49,7 +49,12 @@ let test_pool_error_isolation () =
   in
   let results, _ = Campaign.run_pool ~domains:2 jobs in
   (match results.(1).Campaign.jr_value with
-  | Error e -> check_bool "error carries exception text" true (contains e "kaboom")
+  | Error e ->
+      check_bool "error carries exception text" true (contains e "kaboom");
+      (* the backtrace rides along, so a failing job keeps its stderr
+         context (dune builds with -g, so frames are recorded) *)
+      check_bool "error carries the backtrace" true
+        (contains e "Raised" || contains e "Called")
   | Ok _ -> Alcotest.fail "raising job reported Ok");
   (match (results.(0).Campaign.jr_value, results.(2).Campaign.jr_value) with
   | Ok 1, Ok 2 -> ()

@@ -13,4 +13,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("campaign", Test_campaign.suite);
       ("checkpoint", Test_checkpoint.suite);
+      ("fuzz", Test_fuzz.suite);
     ]
