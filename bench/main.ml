@@ -14,7 +14,9 @@
    With [--json PATH] the harness instead runs the machine-readable
    micro-benchmark used by CI to track the perf trajectory across PRs:
    parse / elaborate / simulate throughput over several testbed designs
-   plus a synthetic low-activity design, for both simulator kernels. *)
+   plus a synthetic low-activity design, for all three simulator
+   kernels, with a hard same-run gate demanding the lowered kernel
+   never lose to the brute-force sweep it replaces. *)
 
 module Report = Fpga_report.Report
 module Bug = Fpga_testbed.Bug
@@ -181,6 +183,7 @@ type bench_result = {
   br_elaborate_per_sec : float;
   br_event_cps : float;
   br_brute_cps : float;
+  br_lowered_cps : float;
 }
 
 let bench_one (d : bench_design) =
@@ -198,6 +201,41 @@ let bench_one (d : bench_design) =
       sim_cycles_per_sec ~kernel:Simulator.Event_driven flat d.bd_stim;
     br_brute_cps =
       sim_cycles_per_sec ~kernel:Simulator.Brute_force flat d.bd_stim;
+    br_lowered_cps =
+      sim_cycles_per_sec ~kernel:Simulator.Lowered flat d.bd_stim;
+  }
+
+(* Lowering-pass statics per bench design: how long one lowered
+   construction takes and what the closure compiler emitted. The counts
+   are exact facts of the compiled plan (not timings), so they are safe
+   for byte-level baseline diffs. *)
+type lowering_bench = {
+  lo_design : string;
+  lo_compile_ms : float;
+  lo_nodes : int;
+  lo_closures : int;
+  lo_fused : int;
+  lo_imm : int;
+  lo_boxed : int;
+}
+
+let lowering_bench_one (d : bench_design) =
+  let design = Fpga_hdl.Parser.parse_design d.bd_src in
+  let flat = Fpga_sim.Elaborate.elaborate design ~top:d.bd_top in
+  let creates_per_sec =
+    runs_per_sec (fun () ->
+        ignore (Simulator.create ~kernel:Simulator.Lowered flat))
+  in
+  let sim = Simulator.create ~kernel:Simulator.Lowered flat in
+  let st = Option.get (Simulator.lowering_stats sim) in
+  {
+    lo_design = d.bd_id;
+    lo_compile_ms = 1000.0 /. creates_per_sec;
+    lo_nodes = st.Fpga_sim.Lowered.lw_nodes;
+    lo_closures = st.Fpga_sim.Lowered.lw_closures;
+    lo_fused = st.Fpga_sim.Lowered.lw_fused;
+    lo_imm = st.Fpga_sim.Lowered.lw_imm;
+    lo_boxed = st.Fpga_sim.Lowered.lw_boxed;
   }
 
 (* Kernel-telemetry readout: one instrumented 2000-cycle run per bench
@@ -323,9 +361,9 @@ let campaign_benches () =
       })
     [ 1; 2; 4 ]
 
-let json_of_results results bits lookup telem overheads campaigns =
+let json_of_results results lowerings bits lookup telem overheads campaigns =
   let buf = Buffer.create 2048 in
-  Buffer.add_string buf "{\n  \"schema\": \"fpga-debug-bench/4\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"fpga-debug-bench/5\",\n";
   Buffer.add_string buf "  \"designs\": [\n";
   List.iteri
     (fun i r ->
@@ -333,12 +371,41 @@ let json_of_results results bits lookup telem overheads campaigns =
         (Printf.sprintf
            "    {\"id\": %S, \"top\": %S, \"parse_per_sec\": %.1f, \
             \"elaborate_per_sec\": %.1f, \"sim_cycles_per_sec_event\": \
-            %.1f, \"sim_cycles_per_sec_brute\": %.1f, \"speedup\": %.2f}%s\n"
+            %.1f, \"sim_cycles_per_sec_brute\": %.1f, \
+            \"sim_cycles_per_sec_lowered\": %.1f, \"speedup\": %.2f}%s\n"
            r.br_id r.br_top r.br_parse_per_sec r.br_elaborate_per_sec
-           r.br_event_cps r.br_brute_cps
+           r.br_event_cps r.br_brute_cps r.br_lowered_cps
            (r.br_event_cps /. r.br_brute_cps)
            (if i = List.length results - 1 then "" else ",")))
     results;
+  (* per-kernel throughput side by side, keyed on "design" so the
+     baseline scanner (which keys throughput on "id") sees each number
+     exactly once *)
+  Buffer.add_string buf "  ],\n  \"kernel_compare\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"design\": %S, \"event_cps\": %.1f, \"brute_cps\": %.1f, \
+            \"lowered_cps\": %.1f, \"event_speedup_vs_brute\": %.2f, \
+            \"lowered_speedup_vs_brute\": %.2f}%s\n"
+           r.br_id r.br_event_cps r.br_brute_cps r.br_lowered_cps
+           (r.br_event_cps /. r.br_brute_cps)
+           (r.br_lowered_cps /. r.br_brute_cps)
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ],\n  \"lowering\": [\n";
+  List.iteri
+    (fun i l ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"design\": %S, \"compile_ms\": %.3f, \"nodes\": %d, \
+            \"closures\": %d, \"fused\": %d, \"imm_signals\": %d, \
+            \"boxed_signals\": %d}%s\n"
+           l.lo_design l.lo_compile_ms l.lo_nodes l.lo_closures l.lo_fused
+           l.lo_imm l.lo_boxed
+           (if i = List.length lowerings - 1 then "" else ",")))
+    lowerings;
   Buffer.add_string buf "  ],\n  \"bits_ops\": [\n";
   List.iteri
     (fun i b ->
@@ -447,6 +514,11 @@ let labelled_metrics_of_file path =
        | Some id, Some v -> entries := (id, v) :: !entries
        | _ -> ());
        (match
+          (field_string line "id", field_float line "sim_cycles_per_sec_lowered")
+        with
+       | Some id, Some v -> entries := (id ^ "@lowered", v) :: !entries
+       | _ -> ());
+       (match
           (field_string line "op", field_float line "width", field_float line "ops_per_sec")
         with
        | Some op, Some w, Some v ->
@@ -491,26 +563,62 @@ let compare_to_baseline ~current ~baseline_path =
         baseline_path
   end
 
+(* The lowered kernel is a pure optimization of the full sweep: it must
+   never lose to the brute-force reference it replaces, on the same
+   machine, in the same run. Unlike the warn-only baseline comparison
+   (cross-machine, cross-run), this same-run relative gate is immune to
+   host speed, so bench-smoke fails hard on it. *)
+let lowered_gate results =
+  let slower =
+    List.filter (fun r -> r.br_lowered_cps < r.br_brute_cps) results
+  in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "KERNEL GATE FAILURE: %s slower under lowered than brute \
+         (%.1f vs %.1f cycles/s)\n"
+        r.br_id r.br_lowered_cps r.br_brute_cps)
+    slower;
+  if slower = [] then
+    Printf.printf
+      "kernel gate: lowered >= brute-force on all %d designs\n"
+      (List.length results);
+  slower = []
+
 let run_json_bench path baseline =
   let results = List.map bench_one (bench_designs ()) in
+  let lowerings = List.map lowering_bench_one (bench_designs ()) in
   let bits = bits_benches () in
   let lookup = signal_lookup_bench () in
   let telem = telemetry_benches () in
   let overheads = telemetry_overhead_benches () in
   let campaigns = campaign_benches () in
-  let json = json_of_results results bits lookup telem overheads campaigns in
+  let json =
+    json_of_results results lowerings bits lookup telem overheads campaigns
+  in
   let oc = open_out path in
   output_string oc json;
   close_out oc;
-  Printf.printf "%-8s %-12s %14s %14s %16s %16s %9s\n" "design" "top"
-    "parse/s" "elab/s" "event cyc/s" "brute cyc/s" "speedup";
+  Printf.printf "%-8s %-12s %12s %12s %14s %14s %14s %8s %8s\n" "design" "top"
+    "parse/s" "elab/s" "event cyc/s" "brute cyc/s" "lowered cyc/s" "ev/bf"
+    "lo/bf";
   List.iter
     (fun r ->
-      Printf.printf "%-8s %-12s %14.1f %14.1f %16.1f %16.1f %8.2fx\n" r.br_id
-        r.br_top r.br_parse_per_sec r.br_elaborate_per_sec r.br_event_cps
-        r.br_brute_cps
-        (r.br_event_cps /. r.br_brute_cps))
+      Printf.printf
+        "%-8s %-12s %12.1f %12.1f %14.1f %14.1f %14.1f %7.2fx %7.2fx\n"
+        r.br_id r.br_top r.br_parse_per_sec r.br_elaborate_per_sec
+        r.br_event_cps r.br_brute_cps r.br_lowered_cps
+        (r.br_event_cps /. r.br_brute_cps)
+        (r.br_lowered_cps /. r.br_brute_cps))
     results;
+  Printf.printf "\n%-8s %12s %8s %10s %8s %8s %8s\n" "design" "compile ms"
+    "nodes" "closures" "fused" "imm" "boxed";
+  List.iter
+    (fun l ->
+      Printf.printf "%-8s %12.3f %8d %10d %8d %8d %8d\n" l.lo_design
+        l.lo_compile_ms l.lo_nodes l.lo_closures l.lo_fused l.lo_imm
+        l.lo_boxed)
+    lowerings;
   Printf.printf "\n%-14s %8s %16s\n" "bits op" "width" "ops/s";
   List.iter
     (fun b ->
@@ -544,17 +652,19 @@ let run_json_bench path baseline =
         (100.0 *. c.cb_utilization) c.cb_speedup)
     campaigns;
   Printf.printf "\nwrote %s\n" path;
-  match baseline with
+  (match baseline with
   | None -> ()
   | Some baseline_path ->
       let current =
         List.map (fun r -> (r.br_id, r.br_event_cps)) results
+        @ List.map (fun r -> (r.br_id ^ "@lowered", r.br_lowered_cps)) results
         @ List.map
             (fun b -> (Printf.sprintf "%s@%d" b.bb_op b.bb_width, b.bb_ops_per_sec))
             bits
         @ [ ("signal_lookup_array", lookup.lb_array_per_sec) ]
       in
-      compare_to_baseline ~current ~baseline_path
+      compare_to_baseline ~current ~baseline_path);
+  if not (lowered_gate results) then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)

@@ -43,6 +43,19 @@ let out_arg =
 let buffer_arg =
   Arg.(value & opt int 8192 & info [ "buffer" ] ~docv:"DEPTH" ~doc:"Recording buffer depth (power of two)")
 
+(* Shared settle-kernel selector: [None] keeps [Simulator.create]'s
+   automatic plan-shape selection. *)
+let kernel_arg =
+  Arg.(value
+       & opt (enum [ ("auto", None);
+                     ("event", Some Fpga_sim.Simulator.Event_driven);
+                     ("brute", Some Fpga_sim.Simulator.Brute_force);
+                     ("lowered", Some Fpga_sim.Simulator.Lowered) ])
+           None
+       & info [ "kernel" ] ~docv:"KERNEL"
+           ~doc:"Settle kernel: auto|event|brute|lowered (auto selects \
+                 from the compiled plan's shape)")
+
 (* --- list ----------------------------------------------------------- *)
 
 let list_cmd =
@@ -494,16 +507,9 @@ let profile_cmd =
   let top_arg =
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"Hottest signals to show")
   in
-  let kernel_arg =
-    Arg.(value
-         & opt (enum [ ("event", Fpga_sim.Simulator.Event_driven);
-                       ("brute", Fpga_sim.Simulator.Brute_force) ])
-             Fpga_sim.Simulator.Event_driven
-         & info [ "kernel" ] ~docv:"KERNEL" ~doc:"Settle kernel: event|brute")
-  in
   let run id cycles json buffer top_k kernel =
     let bug = find_bug id in
-    let p = Fpga_report.Profile.run ~kernel ~cycles ~buffer ~top_k bug in
+    let p = Fpga_report.Profile.run ?kernel ~cycles ~buffer ~top_k bug in
     Fpga_report.Profile.print p;
     match json with
     | None -> ()
@@ -671,7 +677,7 @@ let sim_cmd =
                  Some (cycle, parsed)
              | _ -> None)
   in
-  let run file top cycles stim watch vcd_out =
+  let run file top cycles stim watch vcd_out kernel =
     let module Telemetry = Fpga_telemetry.Telemetry in
     let design =
       Telemetry.span "parse" @@ fun () ->
@@ -682,7 +688,11 @@ let sim_cmd =
       Telemetry.span "elaborate" @@ fun () ->
       Fpga_sim.Elaborate.elaborate design ~top
     in
-    let sim = Fpga_sim.Simulator.create flat in
+    let sim =
+      match kernel with
+      | Some kernel -> Fpga_sim.Simulator.create ~kernel flat
+      | None -> Fpga_sim.Simulator.create flat
+    in
     let vcd = Option.map (fun _ -> Fpga_sim.Vcd.create flat) vcd_out in
     let stim_table = match stim with Some p -> parse_stim p | None -> [] in
     let watched =
@@ -723,7 +733,8 @@ let sim_cmd =
     if Fpga_sim.Simulator.finished sim then print_endline "design executed $finish"
   in
   Cmd.v (Cmd.info "sim" ~doc)
-    Term.(const run $ file_arg $ top_arg $ cycles_arg $ stim_arg $ watch_arg $ vcd_arg)
+    Term.(const run $ file_arg $ top_arg $ cycles_arg $ stim_arg $ watch_arg
+          $ vcd_arg $ kernel_arg)
 
 (* --- export ----------------------------------------------------------- *)
 
@@ -793,7 +804,7 @@ let campaign_cmd =
   let differential_arg =
     Arg.(value & flag
          & info [ "differential" ]
-             ~doc:"Also run event-vs-brute kernel differential jobs")
+             ~doc:"Also run primary-vs-brute kernel differential jobs")
   in
   let sweep_arg =
     Arg.(value & opt (some string) None
@@ -812,7 +823,7 @@ let campaign_cmd =
              ~doc:"Also run a checkpoint/replay determinism job per bug \
                    (checkpoint every K cycles)")
   in
-  let run jobs bugs differential sweep json replay_every =
+  let run jobs bugs differential sweep json replay_every kernel =
     let bugs =
       match bugs with
       | None -> Registry.all
@@ -834,7 +845,7 @@ let campaign_cmd =
           |> List.map int_of_string
     in
     let c =
-      Fpga_campaign.Campaign.run ?domains:jobs ~differential ~sweeps
+      Fpga_campaign.Campaign.run ?domains:jobs ?kernel ~differential ~sweeps
         ?replay_every bugs
     in
     Fpga_campaign.Campaign.print c;
@@ -849,7 +860,7 @@ let campaign_cmd =
   in
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(const run $ jobs_arg $ bugs_arg $ differential_arg $ sweep_arg
-          $ json_arg $ replay_arg)
+          $ json_arg $ replay_arg $ kernel_arg)
 
 (* --- fuzz ----------------------------------------------------------- *)
 
@@ -857,8 +868,8 @@ let fuzz_cmd =
   let doc =
     "Run a differential fuzzing campaign: deterministic seed-driven \
      mutants of the testbed designs, each valid mutant simulated under \
-     the event-driven vs brute-force kernels and with telemetry on vs \
-     off on a pool of domains. Any disagreement is a kernel bug found \
+     the primary (--kernel) vs brute-force kernels and with telemetry \
+     on vs off on a pool of domains. Any disagreement is a kernel bug found \
      by the system itself; it is greedily minimized and dumped as a \
      plain-Verilog reproducer. The same seed replays the same corpus, \
      classifications, and JSON byte-identically at any --jobs width."
@@ -880,19 +891,19 @@ let fuzz_cmd =
   let json_arg =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE"
-             ~doc:"Also write the fpga-debug-fuzz/1 JSON report")
+             ~doc:"Also write the fpga-debug-fuzz/2 JSON report")
   in
   let repro_arg =
     Arg.(value & opt (some string) None
          & info [ "repro-dir" ] ~docv:"DIR"
              ~doc:"Write a .v reproducer per kernel mismatch into DIR")
   in
-  let run seed mutants jobs json repro_dir =
+  let run seed mutants jobs json repro_dir kernel =
     if mutants <= 0 then (
       Printf.eprintf "--mutants must be positive\n";
       exit 1);
     let fc =
-      Fpga_campaign.Campaign.run_fuzz ?domains:jobs ~seed ~mutants ()
+      Fpga_campaign.Campaign.run_fuzz ?domains:jobs ?kernel ~seed ~mutants ()
     in
     Fpga_campaign.Campaign.print_fuzz fc;
     (match json with
@@ -927,7 +938,8 @@ let fuzz_cmd =
     if not (Fpga_campaign.Campaign.fuzz_ok fc) then exit 1
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
-    Term.(const run $ seed_arg $ mutants_arg $ jobs_arg $ json_arg $ repro_arg)
+    Term.(const run $ seed_arg $ mutants_arg $ jobs_arg $ json_arg $ repro_arg
+          $ kernel_arg)
 
 (* --- report --------------------------------------------------------- *)
 

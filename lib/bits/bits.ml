@@ -629,3 +629,123 @@ module Naive = struct
     done;
     !c land 1 = 1
 end
+
+(* ------------------------------------------------------------------ *)
+(* Immediate (single-int) representation                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Signals of width <= 63 fit one native OCaml int, using all 63 bits of
+   the representation: a width-63 value with its top bit set is stored
+   as a *negative* int (the raw two's-complement pattern). Every
+   operation here is value-identical to the limb-wise operation above at
+   the same width; callers pass the width explicitly and the invariant
+   is that inputs are already masked to their width (bits above [w] are
+   zero in the 63-bit pattern sense, i.e. [v land mask w = v]).
+
+   The three systematic hazards of the all-63-bits encoding, handled
+   throughout:
+   - [1 lsl 63] and shifts by >= 63 are undefined: [mask] special-cases
+     w >= 63 to [-1], and every shift guards [k >= w] first (leaving
+     k <= 62, which is always defined);
+   - width-63 patterns can be negative: magnitude comparisons flip the
+     sign bit ([lxor min_int]) to recover unsigned order, and division
+     falls back to the limb path when a raw pattern is negative;
+   - [lsr] (not [asr]) everywhere a logical shift is meant, so negative
+     width-63 patterns shift in zeros. *)
+module Imm = struct
+  let max_width = 62 + 1 (* all 63 bits of a native int *)
+  let fits w = w >= 1 && w <= max_width
+
+  (* [(1 lsl 62) - 1] wraps to [max_int], so the subtraction form is
+     valid up to w = 62; w = 63 is all bits of the int, i.e. [-1]. *)
+  let mask w = if w >= max_width then -1 else (1 lsl w) - 1
+  let of_int ~width n = n land mask width
+
+  let of_bits t =
+    let l0 = t.limbs.(0) in
+    let l1 = if Array.length t.limbs > 1 then t.limbs.(1) else 0 in
+    (l0 lor (l1 lsl limb_bits)) land mask t.width
+
+  let to_bits ~width p =
+    let t = zero width in
+    t.limbs.(0) <- p land limb_mask;
+    if Array.length t.limbs > 1 then
+      t.limbs.(1) <- (p lsr limb_bits) land limb_mask;
+    normalize t
+
+  let add w a b = (a + b) land mask w
+  let sub w a b = (a - b) land mask w
+  let neg w a = -a land mask w
+
+  (* Native [*] wraps modulo 2^63, so masking the product is exact for
+     any w <= 63 — high-half overflow cannot corrupt the kept bits. *)
+  let mul w a b = a * b land mask w
+  let logand a b = a land b
+  let logor a b = a lor b
+  let logxor a b = a lxor b
+  let lognot w a = lnot a land mask w
+
+  (* Division by zero yields all-ones / the dividend (matching [divmod]
+     above). Negative raw patterns (only possible at w = 63) don't obey
+     native [/]'s truncation-toward-zero semantics as unsigned values,
+     so that corner round-trips through the limb representation. *)
+  let div w a b =
+    if b = 0 then mask w
+    else if a >= 0 && b > 0 then a / b
+    else of_bits (div (to_bits ~width:w a) (to_bits ~width:w b))
+
+  let rem w a b =
+    if b = 0 then a
+    else if a >= 0 && b > 0 then a mod b
+    else of_bits (rem (to_bits ~width:w a) (to_bits ~width:w b))
+
+  let shift_left w a k = if k >= w then 0 else (a lsl k) land mask w
+  let shift_right w a k = if k >= w then 0 else a lsr k
+
+  let arith_shift_right w a k =
+    if (a lsr (w - 1)) land 1 = 0 then shift_right w a k
+    else if k >= w then mask w
+    else (a lsr k) lor (mask w lxor (mask w lsr k))
+
+  let bit a i = (a lsr i) land 1 = 1
+  let slice a ~hi ~lo = (a lsr lo) land mask (hi - lo + 1)
+  let is_zero a = a = 0
+  let equal (a : int) b = a = b
+
+  (* Unsigned order on raw patterns: for w <= 62 the patterns are
+     non-negative so native compare is already unsigned; at w = 63
+     flipping the sign bit maps unsigned order onto signed order. *)
+  let ucompare w a b =
+    if w < max_width then Int.compare a b
+    else Int.compare (a lxor min_int) (b lxor min_int)
+
+  let lt w a b = ucompare w a b < 0
+  let le w a b = ucompare w a b <= 0
+  let gt w a b = ucompare w a b > 0
+  let ge w a b = ucompare w a b >= 0
+
+  let signed_lt w a b =
+    let sa = bit a (w - 1) and sb = bit b (w - 1) in
+    if sa <> sb then sa else lt w a b
+
+  let signed_le w a b = signed_lt w a b || a = b
+  let reduce_and w a = a = mask w
+  let reduce_or a = a <> 0
+
+  let reduce_xor a =
+    let v = a lxor (a lsr 32) in
+    let v = v lxor (v lsr 16) in
+    let v = v lxor (v lsr 8) in
+    let v = v lxor (v lsr 4) in
+    (0x6996 lsr (v land 0xF)) land 1 = 1
+
+  let resize w a = a land mask w
+
+  let sign_extend ~from w a =
+    if w <= from then a land mask w
+    else if bit a (from - 1) then a lor (mask w lxor mask from)
+    else a
+
+  (* Same contract as the limb-level [to_int_trunc]: the low 62 bits. *)
+  let to_int_trunc a = a land max_int
+end

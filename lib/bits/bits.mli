@@ -166,3 +166,82 @@ module Naive : sig
   val mul : t -> t -> t
   val reduce_xor : t -> bool
 end
+
+(** {1 Immediate (single-int) representation}
+
+    Signals of width [<= 63] fit a single native OCaml int, using all
+    63 bits of the representation — a width-63 value with its top bit
+    set is stored as a {e negative} int (the raw two's-complement
+    pattern). The lowered simulator kernel keeps such signals in a
+    dense [int array] and evaluates them with these operations, which
+    are value-identical to the limb-wise operations above at equal
+    width. Callers pass the width explicitly; operands must already be
+    masked to their width ([v land mask w = v]). *)
+module Imm : sig
+  val max_width : int
+  (** 63: the full bit width of a native int. *)
+
+  val fits : int -> bool
+  (** [fits w] is true when a [w]-bit value has an immediate form. *)
+
+  val mask : int -> int
+  (** [mask w] has the low [w] bits set ([-1] when [w >= 63]). *)
+
+  val of_int : width:int -> int -> int
+  (** Truncate an arbitrary int to a masked [width]-bit pattern. *)
+
+  val of_bits : t -> int
+  (** Raw pattern of a vector whose width is [<= 63]. *)
+
+  val to_bits : width:int -> int -> t
+  (** Rebuild the limb form; inverse of [of_bits] at equal width. *)
+
+  val add : int -> int -> int -> int
+  val sub : int -> int -> int -> int
+  val neg : int -> int -> int
+  val mul : int -> int -> int -> int
+
+  val div : int -> int -> int -> int
+  (** [div w a b]; division by zero yields all-ones, as {!val:div}. *)
+
+  val rem : int -> int -> int -> int
+  (** [rem w a b]; [rem w a 0] is [a], as {!val:rem}. *)
+
+  val logand : int -> int -> int
+  val logor : int -> int -> int
+  val logxor : int -> int -> int
+  val lognot : int -> int -> int
+  val shift_left : int -> int -> int -> int
+  val shift_right : int -> int -> int -> int
+  val arith_shift_right : int -> int -> int -> int
+
+  val bit : int -> int -> bool
+  (** [bit a i] for [i <= 62]. *)
+
+  val slice : int -> hi:int -> lo:int -> int
+  val is_zero : int -> bool
+  val equal : int -> int -> bool
+
+  val ucompare : int -> int -> int -> int
+  (** [ucompare w a b]: unsigned order on raw [w]-bit patterns. *)
+
+  val lt : int -> int -> int -> bool
+  val le : int -> int -> int -> bool
+  val gt : int -> int -> int -> bool
+  val ge : int -> int -> int -> bool
+  val signed_lt : int -> int -> int -> bool
+  val signed_le : int -> int -> int -> bool
+  val reduce_and : int -> int -> bool
+  val reduce_or : int -> bool
+  val reduce_xor : int -> bool
+
+  val resize : int -> int -> int
+  (** [resize w a]: truncate to [w] bits (zero-extension is identity). *)
+
+  val sign_extend : from:int -> int -> int -> int
+  (** [sign_extend ~from w a]: reinterpret the [from]-bit pattern [a]
+      as signed and extend (or truncate) to [w] bits. *)
+
+  val to_int_trunc : int -> int
+  (** Low 62 bits — same contract as the limb-level {!to_int_trunc}. *)
+end

@@ -7,11 +7,12 @@
    property that makes parallel fuzz runs byte-identical to serial
    ones and `fpga-debug fuzz --seed N` a replay command.
 
-   Classification compares four runs of the same harness:
+   Classification compares four runs of the same harness (the primary
+   kernel defaults to event-driven; `--kernel lowered` swaps it):
 
-     event kernel  vs  brute-force kernel     (scheduling differential)
-     event kernel  vs  event + telemetry on   (observer differential)
-     event kernel  vs  the unmutated design   (symptom differential)
+     primary kernel  vs  brute-force kernel      (scheduling differential)
+     primary kernel  vs  primary + telemetry on  (observer differential)
+     primary kernel  vs  the unmutated design    (symptom differential)
 
    The first two disagreeing is a kernel/tool bug (the finding); the
    third is just the injected bug's symptom. Crashes are part of the
@@ -96,13 +97,13 @@ let run_kernel ?kernel bug d = safe (fun () -> Bug.run_design ?kernel bug d)
 (* Same kernel, telemetry recording on — instrumentation must be
    observationally invisible. The worker's per-domain switch is
    restored afterwards so the surrounding campaign stays uninstrumented. *)
-let run_instrumented bug d =
+let run_instrumented ~kernel bug d =
   safe (fun () ->
       let was = Telemetry.enabled () in
       if not was then Telemetry.enable ();
       Fun.protect
         ~finally:(fun () -> if not was then Telemetry.disable ())
-        (fun () -> Bug.run_design ~kernel:Simulator.Event_driven bug d))
+        (fun () -> Bug.run_design ~kernel bug d))
 
 let diff_reports (a : Bug.report) (b : Bug.report) : string option =
   if a.Bug.rows <> b.Bug.rows then
@@ -133,27 +134,29 @@ let diff_runs a b =
   | Ok _, Error e -> Some ("second run crashed: " ^ e)
   | Error e, Ok _ -> Some ("first run crashed: " ^ e)
 
-(* The finding predicate: do the two kernels, and the instrumented vs
-   uninstrumented event kernel, tell the same story about [d]? *)
-let mismatch_of bug d : string option =
-  let ev = run_kernel ~kernel:Simulator.Event_driven bug d in
+(* The finding predicate: do the primary and brute-force kernels, and
+   the instrumented vs uninstrumented primary kernel, tell the same
+   story about [d]? *)
+let mismatch_of ?(kernel = Simulator.Event_driven) bug d : string option =
+  let pr = run_kernel ~kernel bug d in
   let bf = run_kernel ~kernel:Simulator.Brute_force bug d in
-  match diff_runs ev bf with
-  | Some why -> Some ("event vs brute-force: " ^ why)
+  match diff_runs pr bf with
+  | Some why ->
+      Some (Simulator.kernel_name kernel ^ " vs brute-force: " ^ why)
   | None -> (
-      match diff_runs ev (run_instrumented bug d) with
+      match diff_runs pr (run_instrumented ~kernel bug d) with
       | Some why -> Some ("telemetry-off vs telemetry-on: " ^ why)
       | None -> None)
 
-let classify bug ~base d =
+let classify ?(kernel = Simulator.Event_driven) bug ~base d =
   match Mutate.validate ~top:bug.Bug.top ~baseline:base d with
   | Error reason -> Invalid reason
   | Ok valid -> (
-      match mismatch_of bug valid with
+      match mismatch_of ~kernel bug valid with
       | Some why -> Kernel_mismatch why
       | None -> (
-          let mutant_run = run_kernel bug valid in
-          let base_run = run_kernel bug base in
+          let mutant_run = run_kernel ~kernel bug valid in
+          let base_run = run_kernel ~kernel bug base in
           match diff_runs mutant_run base_run with
           | None -> Equivalent
           | Some why ->
@@ -166,9 +169,9 @@ let classify bug ~base d =
               in
               Symptom_divergent (if symptoms = [] then [ why ] else symptoms)))
 
-let classify_identity bug =
+let classify_identity ?kernel bug =
   let base = Bug.design_of bug ~buggy:false in
-  classify bug ~base base
+  classify ?kernel bug ~base base
 
 (* ------------------------------------------------------------------ *)
 (* Minimization and reproducers                                        *)
@@ -179,21 +182,21 @@ let classify_identity bug =
    against the evolving design, so a subset can denote slightly
    different nodes than it did inside the full sequence — the check
    keeps a subset only when the mismatch genuinely persists.) *)
-let check_subset bug base ms =
+let check_subset ~kernel bug base ms =
   match Mutate.apply_all base ms with
   | None -> None
   | Some (d, ms') -> (
       match Mutate.validate ~top:bug.Bug.top ~baseline:base d with
       | Error _ -> None
       | Ok valid -> (
-          match mismatch_of bug valid with
+          match mismatch_of ~kernel bug valid with
           | Some why -> Some (ms', valid, why)
           | None -> None))
 
 (* Greedy one-at-a-time reduction: drop the first mutation whose
    removal preserves the mismatch, restart; fixed order makes the
    minimizer as deterministic as the generator. *)
-let minimize bug base (muts, d, why) =
+let minimize ~kernel bug base (muts, d, why) =
   let rec shrink ((cur, _, _) as state) =
     let n = List.length cur in
     if n <= 1 then state
@@ -202,7 +205,7 @@ let minimize bug base (muts, d, why) =
         if i >= n then state
         else
           let candidate = List.filteri (fun j _ -> j <> i) cur in
-          match check_subset bug base candidate with
+          match check_subset ~kernel bug base candidate with
           | Some smaller -> shrink smaller
           | None -> try_drop (i + 1)
       in
@@ -227,7 +230,7 @@ let repro_text ~bug ~seed ~index ~sub_seed ~why ~mutations design =
 (* One mutant, end to end                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run_one ~seed ~index =
+let run_one ?(kernel = Simulator.Event_driven) ~seed ~index () =
   let sub_seed = Mutate.derive seed index in
   let bug, mutant, muts = generate ~seed ~index in
   let base = Bug.design_of bug ~buggy:false in
@@ -246,10 +249,10 @@ let run_one ~seed ~index =
   match Mutate.validate ~top:bug.Bug.top ~baseline:base mutant with
   | Error reason -> mk (Invalid reason) muts None
   | Ok valid -> (
-      match mismatch_of bug valid with
+      match mismatch_of ~kernel bug valid with
       | Some why ->
           let min_muts, min_design, min_why =
-            minimize bug base (muts, valid, why)
+            minimize ~kernel bug base (muts, valid, why)
           in
           let repro =
             repro_text ~bug ~seed ~index ~sub_seed ~why:min_why
@@ -257,8 +260,8 @@ let run_one ~seed ~index =
           in
           mk (Kernel_mismatch min_why) min_muts (Some repro)
       | None -> (
-          let mutant_run = run_kernel bug valid in
-          let base_run = run_kernel bug base in
+          let mutant_run = run_kernel ~kernel bug valid in
+          let base_run = run_kernel ~kernel bug base in
           match diff_runs mutant_run base_run with
           | None -> mk Equivalent muts None
           | Some why ->

@@ -1,9 +1,11 @@
 (** Differential fuzz driver: generate mutants of testbed designs,
     gate them through {!Mutate.validate}, and run each valid mutant
-    under the event-driven vs brute-force kernels and with telemetry
-    on vs off. Any observable disagreement between those runs is a
-    kernel bug found by the system itself; divergence from the
-    unmutated design is merely the injected bug's symptom.
+    under a primary kernel (event-driven by default, any
+    {!Fpga_sim.Simulator.kernel} via [?kernel]) vs the brute-force
+    reference, and with telemetry on vs off. Any observable
+    disagreement between those runs is a kernel bug found by the
+    system itself; divergence from the unmutated design is merely the
+    injected bug's symptom.
 
     Everything here is a pure function of [(seed, index)]: the same
     pair names the same target bug, the same mutant, and the same
@@ -21,7 +23,7 @@ type outcome =
       (** kernels agree; the mutation changed observable behavior —
           the injected bug's symptom names *)
   | Kernel_mismatch of string
-      (** the finding: event vs brute-force, or telemetry-on vs off,
+      (** the finding: primary vs brute-force, or telemetry-on vs off,
           disagree on the same design — description of the first
           disagreement *)
 
@@ -64,17 +66,22 @@ val generate :
     Pre-gate — the mutant may still be invalid. *)
 
 val classify :
+  ?kernel:Fpga_sim.Simulator.kernel ->
   Fpga_testbed.Bug.t -> base:Fpga_hdl.Ast.design -> Fpga_hdl.Ast.design ->
   outcome
 (** Classify one (already generated) mutant: validity gate, then the
     kernel and telemetry differentials, then comparison against the
-    [base] design's run. *)
+    [base] design's run. [kernel] is the primary kernel compared
+    against the brute-force reference (default {!Fpga_sim.Simulator.Event_driven}). *)
 
-val classify_identity : Fpga_testbed.Bug.t -> outcome
+val classify_identity :
+  ?kernel:Fpga_sim.Simulator.kernel -> Fpga_testbed.Bug.t -> outcome
 (** {!classify} of the unmutated design against itself — the fuzzer's
     null hypothesis, [Equivalent] for every testbed bug (pinned by
     test_fuzz). *)
 
-val run_one : seed:int -> index:int -> result
+val run_one :
+  ?kernel:Fpga_sim.Simulator.kernel -> seed:int -> index:int -> unit -> result
 (** Generate, gate, classify, and (for kernel mismatches) minimize and
-    render a reproducer. Never raises. *)
+    render a reproducer. Never raises. [kernel] picks the primary
+    kernel of the differential (default event-driven). *)

@@ -23,12 +23,10 @@ type t = {
   p_bus_retained : int;
 }
 
-let kernel_name = function
-  | Simulator.Event_driven -> "event"
-  | Simulator.Brute_force -> "brute"
+let kernel_name = Simulator.kernel_name
 
-let run ?(kernel = Simulator.Event_driven) ?(cycles = 200) ?(buffer = 8192)
-    ?(top_k = 10) (bug : Bug.t) : t =
+let run ?kernel ?(cycles = 200) ?(buffer = 8192) ?(top_k = 10) (bug : Bug.t) :
+    t =
   let was_enabled = Telemetry.enabled () in
   let old_sample = Telemetry.step_sample () in
   Telemetry.enable ();
@@ -50,8 +48,13 @@ let run ?(kernel = Simulator.Event_driven) ?(cycles = 200) ?(buffer = 8192)
     Telemetry.span "elaborate" (fun () ->
         Fpga_sim.Elaborate.elaborate design ~top:bug.Bug.top)
   in
-  (* [Simulator.create] records the "compile" span itself *)
-  let sim = Simulator.create ~kernel flat in
+  (* [Simulator.create] records the "compile" span itself; an omitted
+     [kernel] keeps its automatic plan-shape selection *)
+  let sim =
+    match kernel with
+    | Some kernel -> Simulator.create ~kernel flat
+    | None -> Simulator.create flat
+  in
   let i = ref 0 in
   while !i < cycles && not (Simulator.finished sim) do
     List.iter
@@ -69,7 +72,7 @@ let run ?(kernel = Simulator.Event_driven) ?(cycles = 200) ?(buffer = 8192)
   {
     p_bug_id = bug.Bug.id;
     p_top = bug.Bug.top;
-    p_kernel = kernel_name kernel;
+    p_kernel = kernel_name (Simulator.kernel sim);
     p_cycles_requested = cycles;
     p_cycles_run = !i;
     p_finished = Simulator.finished sim;

@@ -8,7 +8,7 @@
 type t = {
   p_bug_id : string;
   p_top : string;
-  p_kernel : string;  (** ["event"] or ["brute"] *)
+  p_kernel : string;  (** ["event"], ["brute"], or ["lowered"] *)
   p_cycles_requested : int;
   p_cycles_run : int;
   p_finished : bool;
@@ -36,7 +36,9 @@ val run :
     under its own stimulus, with the global event bus resized to
     [buffer] (default 8192) entries. Telemetry is enabled and reset for
     the run; the previous enabled/disabled state is restored on exit
-    (the bus keeps the run's contents so callers can inspect it). *)
+    (the bus keeps the run's contents so callers can inspect it).
+    Omitting [kernel] keeps {!Fpga_sim.Simulator.create}'s automatic
+    kernel selection; [p_kernel] records the kernel actually used. *)
 
 val to_json : t -> string
 (** Schema ["fpga-debug-profile/1"], stable for CI consumption. *)

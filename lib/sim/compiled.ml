@@ -55,6 +55,9 @@ let of_flat (flat : Elaborate.flat) : tab =
   }
 
 let name tab i = tab.t_names.(i)
+let width tab i = tab.t_widths.(i)
+let depth tab i = tab.t_depths.(i)
+let n_signals tab = Array.length tab.t_names
 
 let id tab n =
   match Hashtbl.find_opt tab.t_ids n with

@@ -24,6 +24,14 @@ val name : tab -> int -> string
 val id : tab -> string -> int
 (** Raises {!Eval.Eval_error} ("unbound signal ...") when absent. *)
 
+val width : tab -> int -> int
+(** Vector width, or word width for a memory. *)
+
+val depth : tab -> int -> int option
+(** [Some n] for an [n]-word memory, [None] for a vector. *)
+
+val n_signals : tab -> int
+
 val fresh_env : Elaborate.flat -> env
 (** Initial environment: declared initial values, zero otherwise. *)
 
@@ -73,6 +81,12 @@ val compile_stmt : tab -> Fpga_hdl.Ast.stmt -> cstmt
 val clvalue_width : clvalue -> int
 
 (** {1 Evaluation} *)
+
+val vec : env -> int -> Fpga_bits.Bits.t
+(** The vector at id [i]; ids are guaranteed well-kinded by compilation. *)
+
+val mem : env -> int -> Fpga_bits.Bits.t array
+(** The memory word array at id [i]. *)
 
 val eval_ctx : env -> ctx:int -> cexpr -> Fpga_bits.Bits.t
 (** [ctx] is the Verilog context width, as in {!Eval.eval_ctx}. *)

@@ -1,0 +1,89 @@
+(** Lowered closure-array settle kernel.
+
+    Lowers the id-resolved compiled plan ({!Compiled}) one level
+    further at simulator construction: each combinational node becomes
+    a fused [unit -> unit] closure with all dispatch (width class,
+    representation, index power-of-two-ness) decided at compile time,
+    and every vector signal of width [<= 63] lives unboxed in a dense
+    [int array] bank ({!Fpga_bits.Bits.Imm}), masked on write. Wide
+    vectors and memories stay in limb form in the shared
+    {!Compiled.env}.
+
+    Semantics are bit-identical to the reference executor: same width
+    rules, same out-of-range index handling, same non-blocking commit
+    ordering (dropped writes included, so commit statistics match),
+    same display gating and change-detection points (toggle counts
+    match the other kernels). Managed by {!Simulator}; not a public
+    entry point. *)
+
+type stats = {
+  lw_nodes : int;  (** combinational nodes lowered *)
+  lw_closures : int;  (** plan closures after fusion *)
+  lw_fused : int;  (** nodes folded into a predecessor closure *)
+  lw_imm : int;  (** signals held in the immediate int bank *)
+  lw_boxed : int;  (** signals kept in limb form (wide vecs + mems) *)
+}
+
+type t
+
+(** Combinational node in compiled form, as built by [Simulator]. *)
+type node =
+  | Lassign of Compiled.clvalue * Compiled.cexpr * int  (** ctx width *)
+  | Lblock of Compiled.cstmt list
+
+val create :
+  tab:Compiled.tab ->
+  env:Compiled.env ->
+  finished:bool ref ->
+  nodes:node array ->
+  fuse:bool array ->
+  seq:(Elaborate.clock_edge * Compiled.cstmt list) list ->
+  t
+(** [fuse.(r)] marks a node to be folded into its predecessor's closure
+    (legal only for single-reader assign chains — the caller proves
+    it); [finished] is shared with the simulator's $finish flag and
+    checked before every lowered statement. Immediate-bank values are
+    seeded from [env]. *)
+
+(** {1 Execution} *)
+
+val settle : t -> displays:bool -> unit
+(** One full sweep of the fused plan in topological order. [displays]
+    gates combinational [$display]s, as in the reference settle. *)
+
+val run_edge : t -> Elaborate.clock_edge -> unit
+(** Run the sequential blocks for one clock edge; non-blocking writes
+    accumulate until {!commit}. *)
+
+val pending_count : t -> int
+(** Deferred writes accumulated since the last {!commit} (dropped
+    writes included, matching the reference's commit statistics). *)
+
+val commit : t -> unit
+(** Apply deferred non-blocking writes in program order with change
+    detection and notification. *)
+
+(** {1 State access} *)
+
+val read_vec : t -> int -> Fpga_bits.Bits.t
+(** Materialize the current value of a vector signal. *)
+
+val write_vec : t -> int -> Fpga_bits.Bits.t -> unit
+(** Change-detected external write (inputs, primitive outputs),
+    resized to the signal width; notifies on change. *)
+
+val set_vec_raw : t -> int -> Fpga_bits.Bits.t -> unit
+(** Checkpoint restore: store without change detection or
+    notification. *)
+
+val input_fn : t -> Compiled.cexpr -> unit -> Fpga_bits.Bits.t
+(** Compile a primitive-input reader over the lowered banks
+    (self-determined context). *)
+
+val set_emit : t -> (string -> unit) -> unit
+(** Wire the [$display] sink (the simulator's log/telemetry path). *)
+
+val set_notify : t -> (int -> unit) -> unit
+(** Wire the change callback (toggle counting under telemetry). *)
+
+val stats : t -> stats

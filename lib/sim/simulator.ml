@@ -37,7 +37,29 @@ open Elaborate
 
 exception Combinational_cycle of string list
 
-type kernel = Event_driven | Brute_force
+type kernel = Event_driven | Brute_force | Lowered
+
+let kernel_name = function
+  | Event_driven -> "event"
+  | Brute_force -> "brute"
+  | Lowered -> "lowered"
+
+let kernel_of_string = function
+  | "event" -> Some Event_driven
+  | "brute" | "brute-force" -> Some Brute_force
+  | "lowered" -> Some Lowered
+  | _ -> None
+
+(* Auto-selection threshold: the lowered kernel sweeps the full fused
+   plan every settle, so on huge, mostly-idle combinational plans the
+   event kernel's dirty set can still win. Below this plan size the
+   per-node cost of lowered closures is so small that sweeping always
+   beats the event machinery (measured: every testbed design, including
+   the 65-node idle design, is faster lowered). *)
+let auto_lowered_max_nodes = 4096
+
+let auto_kernel ~comb_nodes =
+  if comb_nodes <= auto_lowered_max_nodes then Lowered else Event_driven
 
 (* The event-driven kernel's adaptive execution mode. [Sparse] is the
    dirty-set schedule. On designs where nearly every node fires every
@@ -79,11 +101,12 @@ type fifo_state = {
 
 type ram_state = { r_words : Bits.t array; mutable r_q : Bits.t }
 
-(* IP instance with compiled port connections: inputs as compiled
-   expressions, outputs as signal ids. *)
+(* IP instance with compiled port connections: inputs as pre-compiled
+   reader closures (bound to whichever kernel's value banks are live),
+   outputs as signal ids. *)
 type cprim = {
   cp_src : fprim;
-  cp_inputs : (string * Compiled.cexpr) list;
+  cp_inputs : (string * (unit -> Bits.t)) list;
   cp_outputs : (string * int) list;
 }
 
@@ -130,8 +153,9 @@ type t = {
   mutable notify : int -> unit;  (* change callback wired to [mark_signal] *)
   seq : (Elaborate.clock_edge * Compiled.cstmt list) list;
   prims : prim_state list;
+  low : Lowered.t option;  (* present iff [kernel = Lowered] *)
   mutable cycle : int;
-  mutable finished : bool;
+  finished : bool ref;  (* shared with the lowered kernel's $finish *)
   mutable log : (int * string) list;  (* newest first *)
   mutable log_len : int;
   mutable log_memo : int * (int * string) list;
@@ -171,9 +195,9 @@ let mark_all sim =
    does no dirty marking at all (everything runs anyway) and just
    counts value changes for the mode-exit test. *)
 let wire_notify sim =
-  match (sim.kernel, sim.mode, sim.stats) with
-  | Brute_force, _, None -> sim.notify <- ignore
-  | Brute_force, _, Some st ->
+  (match (sim.kernel, sim.mode, sim.stats) with
+  | (Brute_force | Lowered), _, None -> sim.notify <- ignore
+  | (Brute_force | Lowered), _, Some st ->
       sim.notify <- (fun i -> st.s_toggles.(i) <- st.s_toggles.(i) + 1)
   (* no combinational plan, nothing to mark: purely sequential designs
      (D4, D8) must not pay any event-kernel change-tracking at all *)
@@ -193,7 +217,12 @@ let wire_notify sim =
       sim.notify <-
         (fun i ->
           st.s_toggles.(i) <- st.s_toggles.(i) + 1;
-          sim.nchanges <- sim.nchanges + 1)
+          sim.nchanges <- sim.nchanges + 1));
+  (* the lowered kernel holds its own copy of the callback; keep it in
+     lock-step so toggle counts match the other kernels *)
+  match sim.low with
+  | Some low -> Lowered.set_notify low sim.notify
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Combinational scheduling                                            *)
@@ -264,29 +293,31 @@ type exec_ctx = {
   displays_enabled : bool;
 }
 
+(* The $display sink, shared by every kernel: log, stats, telemetry
+   bus, hook. Reads the cycle counter at emission time. *)
+let emit_text sim text =
+  sim.log <- (sim.cycle, text) :: sim.log;
+  sim.log_len <- sim.log_len + 1;
+  (match sim.stats with
+  | Some st ->
+      st.s_displays <- st.s_displays + 1;
+      Telemetry.Bus.publish (Telemetry.bus ())
+        {
+          Telemetry.ev_cycle = sim.cycle;
+          ev_source = "simulator";
+          ev_kind = "display";
+          ev_data = [ ("text", text) ];
+        }
+  | None -> ());
+  match sim.display_hook with Some f -> f sim.cycle text | None -> ()
+
 let emit_display ctx fmt args =
   if ctx.displays_enabled then (
     let vals = List.map (Compiled.eval ctx.sim.env) args in
-    let text = Display.render fmt vals in
-    ctx.sim.log <- (ctx.sim.cycle, text) :: ctx.sim.log;
-    ctx.sim.log_len <- ctx.sim.log_len + 1;
-    (match ctx.sim.stats with
-    | Some st ->
-        st.s_displays <- st.s_displays + 1;
-        Telemetry.Bus.publish (Telemetry.bus ())
-          {
-            Telemetry.ev_cycle = ctx.sim.cycle;
-            ev_source = "simulator";
-            ev_kind = "display";
-            ev_data = [ ("text", text) ];
-          }
-    | None -> ());
-    match ctx.sim.display_hook with
-    | Some f -> f ctx.sim.cycle text
-    | None -> ())
+    emit_text ctx.sim (Display.render fmt vals))
 
 let rec exec_stmt ctx (s : Compiled.cstmt) =
-  if not ctx.sim.finished then
+  if not !(ctx.sim.finished) then
     match s with
     | Compiled.CSblocking (l, e, cw) ->
         (* blocking assignments update immediately, visible to the next
@@ -325,7 +356,7 @@ let rec exec_stmt ctx (s : Compiled.cstmt) =
             | Some body -> List.iter (exec_stmt ctx) body
             | None -> ()))
     | Compiled.CSdisplay (fmt, args) -> emit_display ctx fmt args
-    | Compiled.CSfinish -> ctx.sim.finished <- true
+    | Compiled.CSfinish -> ctx.sim.finished := true
 
 (* ------------------------------------------------------------------ *)
 (* Primitives                                                          *)
@@ -354,26 +385,34 @@ let make_prim_state (cp : cprim) : prim_state =
       Pram
         (cp, { r_words = Array.make words (Bits.zero width); r_q = Bits.zero width })
 
-let prim_input env (cp : cprim) name =
+let prim_input (cp : cprim) name =
   match List.assoc_opt name cp.cp_inputs with
-  | Some e -> Compiled.eval env e
+  | Some f -> f ()
   | None -> Bits.zero 1
 
-let prim_input_bool env cp name = Bits.reduce_or (prim_input env cp name)
+let prim_input_bool cp name = Bits.reduce_or (prim_input cp name)
+
+(* Change-detected write to a vector signal through whichever kernel's
+   value bank is live; resizes to the declared width and notifies on
+   change. Memories are never written this way. *)
+let write_sig sim i value =
+  match sim.env.(i) with
+  | Compiled.Mem _ -> ()
+  | Compiled.Vec old -> (
+      match sim.low with
+      | Some low -> Lowered.write_vec low i value
+      | None ->
+          let value = Bits.resize value (Bits.width old) in
+          if not (Bits.equal old value) then (
+            sim.env.(i) <- Compiled.Vec value;
+            sim.notify i))
 
 (* Drive a primitive output signal if it is connected; change-detected
    so a quiescent primitive does not wake its combinational readers. *)
 let drive sim (cp : cprim) formal value =
   match List.assoc_opt formal cp.cp_outputs with
   | None -> ()
-  | Some i -> (
-      match sim.env.(i) with
-      | Compiled.Vec old ->
-          let value = Bits.resize value (Bits.width old) in
-          if not (Bits.equal old value) then (
-            sim.env.(i) <- Compiled.Vec value;
-            sim.notify i)
-      | Compiled.Mem _ -> ())
+  | Some i -> write_sig sim i value
 
 let fifo_port_names kind =
   match kind with
@@ -392,15 +431,15 @@ let drive_fifo_outputs sim (cp : cprim) (f : fifo_state) =
   (* [drive] resizes to the connected signal's declared width *)
   drive sim cp usedw (Bits.of_int ~width:16 f.f_count)
 
-let step_prim env (ps : prim_state) =
+let step_prim (ps : prim_state) =
   match ps with
   | Pfifo (cp, f) ->
       let wrreq_n, rdreq_n, data_n, _, _, _, _ =
         fifo_port_names cp.cp_src.fp_kind
       in
-      let wrreq = prim_input_bool env cp wrreq_n in
-      let rdreq = prim_input_bool env cp rdreq_n in
-      let data = Bits.resize (prim_input env cp data_n) f.f_width in
+      let wrreq = prim_input_bool cp wrreq_n in
+      let rdreq = prim_input_bool cp rdreq_n in
+      let data = Bits.resize (prim_input cp data_n) f.f_width in
       let popped = rdreq && f.f_count > 0 in
       let pushed = wrreq && f.f_count < f.f_depth in
       if popped then (
@@ -410,9 +449,9 @@ let step_prim env (ps : prim_state) =
         f.f_data.((f.f_head + f.f_count) mod f.f_depth) <- data;
         f.f_count <- f.f_count + 1)
   | Pram (cp, r) ->
-      let addr = Bits.to_int_trunc (prim_input env cp "address_a") in
-      let wren = prim_input_bool env cp "wren_a" in
-      let data = prim_input env cp "data_a" in
+      let addr = Bits.to_int_trunc (prim_input cp "address_a") in
+      let wren = prim_input_bool cp "wren_a" in
+      let data = prim_input cp "data_a" in
       let size = Array.length r.r_words in
       let k = if size = 0 then 0 else addr mod size in
       (* registered read of the old word, then write *)
@@ -447,7 +486,7 @@ let compile_node tab = function
       Cassign (cl, Compiled.compile_expr tab e, Compiled.clvalue_width cl)
   | Ablock stmts -> Cblock (List.map (Compiled.compile_stmt tab) stmts)
 
-let create ?(kernel = Event_driven) (flat : flat) : t =
+let create ?kernel (flat : flat) : t =
   Telemetry.span "compile" @@ fun () ->
   let tab = Compiled.of_flat flat in
   let env = Compiled.fresh_env flat in
@@ -458,6 +497,9 @@ let create ?(kernel = Event_driven) (flat : flat) : t =
   let ast_nodes = Array.of_list (topo_sort node_list) in
   let nodes = Array.map (compile_node tab) ast_nodes in
   let n = Array.length nodes in
+  let kernel =
+    match kernel with Some k -> k | None -> auto_kernel ~comb_nodes:n
+  in
   (* sensitivity map on ids: every signal a node reads wakes that node *)
   let sens = Array.make (Array.length flat.f_signal_order) [] in
   Array.iteri
@@ -484,6 +526,42 @@ let create ?(kernel = Event_driven) (flat : flat) : t =
       (fun (e, _clk, body) -> (e, List.map (Compiled.compile_stmt tab) body))
       flat.f_seq
   in
+  let finished = ref false in
+  let low =
+    if kernel <> Lowered then None
+    else begin
+      (* single-reader assign chains fuse into one closure: when node
+         r-1 is a plain assign whose sole written signal feeds exactly
+         one node and that node is r, the pair always runs back to back
+         in the full sweep, so folding them is behavior-preserving and
+         halves the plan-iteration overhead on long chains *)
+      let fuse = Array.make (max n 1) false in
+      for r = 1 to n - 1 do
+        match ast_nodes.(r - 1) with
+        | Aassign (l, _) -> (
+            match Ast.lvalue_bases l with
+            | [ s ] -> (
+                match Hashtbl.find_opt flat.f_signal_ids s with
+                | Some i -> if sens.(i) = [ r ] then fuse.(r) <- true
+                | None -> ())
+            | _ -> ())
+        | Ablock _ -> ()
+      done;
+      let lnodes =
+        Array.map
+          (function
+            | Cassign (l, e, cw) -> Lowered.Lassign (l, e, cw)
+            | Cblock ss -> Lowered.Lblock ss)
+          nodes
+      in
+      Some (Lowered.create ~tab ~env ~finished ~nodes:lnodes ~fuse ~seq)
+    end
+  in
+  let input_closure ce =
+    match low with
+    | Some lw -> Lowered.input_fn lw ce
+    | None -> fun () -> Compiled.eval env ce
+  in
   let prims =
     List.map
       (fun (p : fprim) ->
@@ -491,7 +569,9 @@ let create ?(kernel = Event_driven) (flat : flat) : t =
           {
             cp_src = p;
             cp_inputs =
-              List.map (fun (f, e) -> (f, Compiled.compile_expr tab e)) p.fp_inputs;
+              List.map
+                (fun (f, e) -> (f, input_closure (Compiled.compile_expr tab e)))
+                p.fp_inputs;
             cp_outputs =
               List.map (fun (f, s) -> (f, Compiled.id tab s)) p.fp_outputs;
           }
@@ -524,11 +604,12 @@ let create ?(kernel = Event_driven) (flat : flat) : t =
     { flat; tab; env; kernel; nodes; sens; display_nodes;
       dirty = Array.make n true; ndirty = n;
       mode = Sparse; mode_streak = 0; nchanges = 0;
-      notify = ignore; seq; prims;
-      cycle = 0; finished = false; log = []; log_len = 0;
+      notify = ignore; seq; prims; low;
+      cycle = 0; finished; log = []; log_len = 0;
       log_memo = (0, []); display_hook = None; step_hooks = []; stats }
   in
   wire_notify sim;
+  Option.iter (fun lw -> Lowered.set_emit lw (emit_text sim)) low;
   (* initial primitive outputs so the first settle sees them; every node
      starts dirty, so the first settle evaluates the full plan *)
   List.iter (drive_prim_outputs sim) prims;
@@ -541,24 +622,37 @@ let exec_node ctx node =
       Compiled.write_notify ctx.sim.env ~notify:ctx.sim.notify l v
   | Cblock stmts -> List.iter (exec_stmt ctx) stmts
 
+(* Full-sweep settle statistics, shared by the brute-force and lowered
+   kernels: every node counts as considered, evaluated, and dirty. *)
+let full_sweep_stats sim =
+  match sim.stats with
+  | None -> ()
+  | Some st ->
+      let n = Array.length sim.nodes in
+      st.s_settles <- st.s_settles + 1;
+      st.s_node_rounds <- st.s_node_rounds + n;
+      st.s_nodes_evaluated <- st.s_nodes_evaluated + n;
+      st.s_dirty_total <- st.s_dirty_total + n;
+      if n > st.s_dirty_peak then st.s_dirty_peak <- n;
+      Telemetry.Histogram.observe st.s_settle_hist n
+
 let settle ?(displays = false) (sim : t) =
-  let ctx =
-    { sim; pending = []; in_comb_phase = true; displays_enabled = displays }
-  in
   match sim.kernel with
+  | Lowered ->
+      full_sweep_stats sim;
+      (match sim.low with
+      | Some low -> Lowered.settle low ~displays
+      | None -> assert false)
   | Brute_force ->
-      (match sim.stats with
-      | None -> ()
-      | Some st ->
-          let n = Array.length sim.nodes in
-          st.s_settles <- st.s_settles + 1;
-          st.s_node_rounds <- st.s_node_rounds + n;
-          st.s_nodes_evaluated <- st.s_nodes_evaluated + n;
-          st.s_dirty_total <- st.s_dirty_total + n;
-          if n > st.s_dirty_peak then st.s_dirty_peak <- n;
-          Telemetry.Histogram.observe st.s_settle_hist n);
+      full_sweep_stats sim;
+      let ctx =
+        { sim; pending = []; in_comb_phase = true; displays_enabled = displays }
+      in
       Array.iter (exec_node ctx) sim.nodes
   | Event_driven -> (
+      let ctx =
+        { sim; pending = []; in_comb_phase = true; displays_enabled = displays }
+      in
       let n = Array.length sim.nodes in
       match sim.mode with
       | Dense ->
@@ -652,11 +746,7 @@ let set_input sim name value =
   match find_id sim name with
   | Some i -> (
       match sim.env.(i) with
-      | Compiled.Vec old ->
-          let value = Bits.resize value (Bits.width old) in
-          if not (Bits.equal old value) then (
-            sim.env.(i) <- Compiled.Vec value;
-            sim.notify i)
+      | Compiled.Vec _ -> write_sig sim i value
       | Compiled.Mem _ -> invalid_arg "Simulator.set_input: memory")
   | None -> invalid_arg (Printf.sprintf "Simulator.set_input: unknown %s" name)
 
@@ -664,11 +754,7 @@ let set_input_int sim name v =
   match find_id sim name with
   | Some i -> (
       match sim.env.(i) with
-      | Compiled.Vec old ->
-          let value = Bits.of_int ~width:(Bits.width old) v in
-          if not (Bits.equal old value) then (
-            sim.env.(i) <- Compiled.Vec value;
-            sim.notify i)
+      | Compiled.Vec old -> write_sig sim i (Bits.of_int ~width:(Bits.width old) v)
       | Compiled.Mem _ ->
           invalid_arg (Printf.sprintf "Simulator.set_input_int: unknown %s" name))
   | None ->
@@ -678,7 +764,8 @@ let read sim name =
   match find_id sim name with
   | Some i -> (
       match sim.env.(i) with
-      | Compiled.Vec b -> b
+      | Compiled.Vec b -> (
+          match sim.low with Some low -> Lowered.read_vec low i | None -> b)
       | Compiled.Mem _ ->
           invalid_arg (Printf.sprintf "Simulator.read: %s is a memory" name))
   | None -> invalid_arg (Printf.sprintf "Simulator.read: unknown %s" name)
@@ -697,29 +784,42 @@ let read_memory sim name =
 (* Run the sequential blocks firing on one clock edge and commit their
    non-blocking writes. *)
 let edge_phase (sim : t) (edge : Elaborate.clock_edge) ~with_prims =
-  let ctx =
-    { sim; pending = []; in_comb_phase = false; displays_enabled = true }
-  in
-  List.iter
-    (fun (e, body) -> if e = edge then List.iter (exec_stmt ctx) body)
-    sim.seq;
-  if with_prims then List.iter (step_prim sim.env) sim.prims;
-  (match sim.stats with
-  | None -> ()
-  | Some st ->
-      st.s_nba_commits <- st.s_nba_commits + List.length ctx.pending;
-      if with_prims then
-        st.s_prim_steps <- st.s_prim_steps + List.length sim.prims);
-  List.iter
-    (Compiled.apply_write_notify sim.env ~notify:sim.notify)
-    (List.rev ctx.pending);
-  if with_prims then List.iter (drive_prim_outputs sim) sim.prims
+  match sim.low with
+  | Some low ->
+      Lowered.run_edge low edge;
+      if with_prims then List.iter step_prim sim.prims;
+      (match sim.stats with
+      | None -> ()
+      | Some st ->
+          st.s_nba_commits <- st.s_nba_commits + Lowered.pending_count low;
+          if with_prims then
+            st.s_prim_steps <- st.s_prim_steps + List.length sim.prims);
+      Lowered.commit low;
+      if with_prims then List.iter (drive_prim_outputs sim) sim.prims
+  | None ->
+      let ctx =
+        { sim; pending = []; in_comb_phase = false; displays_enabled = true }
+      in
+      List.iter
+        (fun (e, body) -> if e = edge then List.iter (exec_stmt ctx) body)
+        sim.seq;
+      if with_prims then List.iter step_prim sim.prims;
+      (match sim.stats with
+      | None -> ()
+      | Some st ->
+          st.s_nba_commits <- st.s_nba_commits + List.length ctx.pending;
+          if with_prims then
+            st.s_prim_steps <- st.s_prim_steps + List.length sim.prims);
+      List.iter
+        (Compiled.apply_write_notify sim.env ~notify:sim.notify)
+        (List.rev ctx.pending);
+      if with_prims then List.iter (drive_prim_outputs sim) sim.prims
 
 let has_negedge (sim : t) =
   List.exists (fun (e, _, _) -> e = Elaborate.Neg) sim.flat.f_seq
 
 let step (sim : t) =
-  if not sim.finished then (
+  if not !(sim.finished) then (
     settle sim ~displays:false;
     (* rising edge: posedge blocks and the clocked IP primitives fire
        against the settled pre-edge state; displays use those values *)
@@ -762,7 +862,7 @@ let step (sim : t) =
 
 let run sim n =
   let i = ref 0 in
-  while !i < n && not sim.finished do
+  while !i < n && not !(sim.finished) do
     step sim;
     incr i
   done
@@ -779,7 +879,9 @@ let log sim =
     oldest_first)
 
 let cycle sim = sim.cycle
-let finished sim = sim.finished
+let finished sim = !(sim.finished)
+let kernel sim = sim.kernel
+let lowering_stats sim = Option.map Lowered.stats sim.low
 let on_display sim f = sim.display_hook <- Some f
 let on_step sim f = sim.step_hooks <- sim.step_hooks @ [ f ]
 
@@ -859,17 +961,20 @@ type checkpoint = {
   cp_log : (int * string) list;
 }
 
+(* Architectural value of signal [i], materialized through the lowered
+   kernel's immediate bank when that is the live representation. *)
+let sig_value sim i =
+  match sim.env.(i) with
+  | Compiled.Vec b ->
+      Eval.Vec
+        (match sim.low with Some low -> Lowered.read_vec low i | None -> b)
+  | Compiled.Mem a -> Eval.Mem (Array.copy a)
+
 let checkpoint (sim : t) : checkpoint =
   let cp_env =
     Array.to_list
       (Array.mapi
-         (fun i name ->
-           let copy =
-             match sim.env.(i) with
-             | Compiled.Vec b -> Eval.Vec b
-             | Compiled.Mem a -> Eval.Mem (Array.copy a)
-           in
-           (name, copy))
+         (fun i name -> (name, sig_value sim i))
          sim.flat.f_signal_order)
   in
   let cp_prims =
@@ -889,19 +994,25 @@ let checkpoint (sim : t) : checkpoint =
     cp_env;
     cp_prims;
     cp_cycle = sim.cycle;
-    cp_finished = sim.finished;
+    cp_finished = !(sim.finished);
     cp_log = sim.log;
   }
+
+(* Raw restore of one signal, routed into whichever value bank is
+   live; no change detection (the caller re-marks everything). *)
+let restore_sig sim i v =
+  match v with
+  | Eval.Vec b -> (
+      match sim.low with
+      | Some low -> Lowered.set_vec_raw low i b
+      | None -> sim.env.(i) <- Compiled.Vec b)
+  | Eval.Mem a -> sim.env.(i) <- Compiled.Mem (Array.copy a)
 
 let restore (sim : t) (snap : checkpoint) : unit =
   List.iter
     (fun (name, v) ->
       match find_id sim name with
-      | Some i ->
-          sim.env.(i) <-
-            (match v with
-            | Eval.Vec b -> Compiled.Vec b
-            | Eval.Mem a -> Compiled.Mem (Array.copy a))
+      | Some i -> restore_sig sim i v
       | None -> ())
     snap.cp_env;
   List.iter
@@ -930,7 +1041,7 @@ let restore (sim : t) (snap : checkpoint) : unit =
           | None -> ()))
     sim.prims;
   sim.cycle <- snap.cp_cycle;
-  sim.finished <- snap.cp_finished;
+  sim.finished := snap.cp_finished;
   sim.log <- snap.cp_log;
   sim.log_len <- List.length snap.cp_log;
   (* invalidate the memo: a restored log of the same length as the
@@ -957,13 +1068,7 @@ let save_checkpoint ?(tag = "") ?(meta = []) (sim : t) : Checkpoint.t =
   let ck_values =
     Array.to_list
       (Array.mapi
-         (fun i name ->
-           let copy =
-             match sim.env.(i) with
-             | Compiled.Vec b -> Eval.Vec b
-             | Compiled.Mem a -> Eval.Mem (Array.copy a)
-           in
-           (name, copy))
+         (fun i name -> (name, sig_value sim i))
          sim.flat.f_signal_order)
   in
   let ck_prims =
@@ -993,7 +1098,7 @@ let save_checkpoint ?(tag = "") ?(meta = []) (sim : t) : Checkpoint.t =
     Checkpoint.ck_design = Checkpoint.design_hash sim.flat;
     ck_tag = tag;
     ck_cycle = sim.cycle;
-    ck_finished = sim.finished;
+    ck_finished = !(sim.finished);
     ck_values;
     ck_prims;
     ck_log = log sim;
@@ -1022,7 +1127,7 @@ let restore_checkpoint (sim : t) (ck : Checkpoint.t) : unit =
               if Bits.width b <> Bits.width old then
                 ck_fail "checkpoint signal %s has width %d, design has %d" name
                   (Bits.width b) (Bits.width old)
-              else sim.env.(i) <- Compiled.Vec b
+              else restore_sig sim i v
           | Compiled.Mem old, Eval.Mem a ->
               if Array.length a <> Array.length old then
                 ck_fail "checkpoint memory %s has %d words, design has %d" name
@@ -1057,7 +1162,7 @@ let restore_checkpoint (sim : t) (ck : Checkpoint.t) : unit =
           | _ -> ck_fail "checkpoint RAM %s does not match the design" cr_name))
     ck.Checkpoint.ck_prims;
   sim.cycle <- ck.Checkpoint.ck_cycle;
-  sim.finished <- ck.Checkpoint.ck_finished;
+  sim.finished := ck.Checkpoint.ck_finished;
   sim.log <- List.rev ck.Checkpoint.ck_log;
   sim.log_len <- List.length ck.Checkpoint.ck_log;
   sim.log_memo <- (-1, []);

@@ -35,18 +35,35 @@ exception Combinational_cycle of string list
 
 type kernel =
   | Event_driven
-      (** dirty-set scheduling over the sensitivity map (default) *)
+      (** dirty-set scheduling over the sensitivity map *)
   | Brute_force
       (** re-evaluate the full topological plan on every settle — the
           seed behavior, kept as a differential-testing reference *)
+  | Lowered
+      (** closure-array kernel: each comb node compiled once into a
+          fused [unit -> unit] closure, narrow signals unboxed in a
+          dense int bank ({!Lowered}); sweeps the full fused plan every
+          settle *)
+
+val kernel_name : kernel -> string
+(** ["event"], ["brute"], or ["lowered"] — the CLI spelling. *)
+
+val kernel_of_string : string -> kernel option
+(** Inverse of {!kernel_name} (also accepts ["brute-force"]). *)
 
 type t
 
 val create : ?kernel:kernel -> Elaborate.flat -> t
 (** Build a simulator with all registers at their declared initial
-    values (zero by default) and primitive outputs settled. [kernel]
-    defaults to {!Event_driven}; both kernels produce byte-identical
-    traces. *)
+    values (zero by default) and primitive outputs settled. When
+    [kernel] is omitted it is selected automatically from the plan
+    shape: {!Lowered} for any design whose combinational plan fits the
+    full-sweep budget (every current testbed design), {!Event_driven}
+    for very large, mostly-idle plans. All kernels produce
+    byte-identical traces. *)
+
+val kernel : t -> kernel
+(** The kernel this simulator was built with (after auto-selection). *)
 
 val step : t -> unit
 (** Advance one clock cycle. No-op once the design executed [$finish]. *)
@@ -119,8 +136,14 @@ val stats : t -> stats option
 
 val dense_mode : t -> bool
 (** True while the event-driven kernel is in its dense full-scan
-    fallback (always false for {!Brute_force}). Exposed for tests and
-    profiling; mode switches never change simulation results. *)
+    fallback (always false for {!Brute_force} and {!Lowered}). Exposed
+    for tests and profiling; mode switches never change simulation
+    results. *)
+
+val lowering_stats : t -> Lowered.stats option
+(** Closure/representation counts from the lowering pass; [None] unless
+    the kernel is {!Lowered}. Always available (not telemetry-gated) —
+    the numbers are static facts of the compiled plan. *)
 
 val kernel_efficiency : t -> float option
 (** [st_nodes_evaluated / st_node_rounds] — the fraction of full-sweep

@@ -460,3 +460,194 @@ let suite =
       Alcotest.test_case "set_slice spanning 3 limbs" `Quick
         test_set_slice_three_limbs;
     ]
+
+(* --- immediate (single-int) representation vs the limb reference ----------- *)
+
+(* The lowered kernel keeps every signal of width <= 63 as one raw
+   native int (Bits.Imm). Each Imm operation is pitted against the
+   limb-wise Bits/Bits.Naive operation at the same width, with the
+   unboxed widths 1, 62 and 63 always in the sample: width 63 uses all
+   bits of the int, so set-top-bit patterns are *negative* raw ints and
+   any `asr`/`Stdlib.compare` confusion shows up immediately. *)
+
+module Imm = Bits.Imm
+
+let imm_widths = [ 1; 2; 31; 32; 33; 62; 63 ]
+let gen_imm_width = QCheck2.Gen.(oneof [ oneofl imm_widths; int_range 1 63 ])
+
+let gen_imm_bits = QCheck2.Gen.(gen_imm_width >>= gen_bits_of_width)
+
+let gen_imm_pair =
+  QCheck2.Gen.(
+    gen_imm_bits >>= fun a ->
+    gen_bits_of_width (Bits.width a) >|= fun b -> (a, b))
+
+let gen_imm_bits_shift =
+  QCheck2.Gen.(
+    gen_imm_bits >>= fun a ->
+    gen_shift_for (Bits.width a) >|= fun k -> (a, k))
+
+(* Lift a width-indexed imm binop back into limb form. *)
+let via2 f a b =
+  let w = Bits.width a in
+  Imm.to_bits ~width:w (f w (Imm.of_bits a) (Imm.of_bits b))
+
+let imm_prop name gen f = QCheck2.Test.make ~count:500 ~name gen f
+
+let imm_properties =
+  [
+    imm_prop "imm of_bits/to_bits round-trip" gen_imm_bits (fun a ->
+        Bits.equal a (Imm.to_bits ~width:(Bits.width a) (Imm.of_bits a)));
+    imm_prop "imm patterns stay masked" gen_imm_bits (fun a ->
+        let p = Imm.of_bits a in
+        p land Imm.mask (Bits.width a) = p);
+    imm_prop "imm add" gen_imm_pair (fun (a, b) ->
+        Bits.equal (via2 Imm.add a b) (Bits.add a b));
+    imm_prop "imm sub" gen_imm_pair (fun (a, b) ->
+        Bits.equal (via2 Imm.sub a b) (Bits.sub a b));
+    imm_prop "imm neg" gen_imm_bits (fun a ->
+        let w = Bits.width a in
+        Bits.equal (Imm.to_bits ~width:w (Imm.neg w (Imm.of_bits a))) (Bits.neg a));
+    imm_prop "imm mul" gen_imm_pair (fun (a, b) ->
+        Bits.equal (via2 Imm.mul a b) (Bits.Naive.mul a b));
+    imm_prop "imm div" gen_imm_pair (fun (a, b) ->
+        Bits.equal (via2 Imm.div a b) (Bits.div a b));
+    imm_prop "imm rem" gen_imm_pair (fun (a, b) ->
+        Bits.equal (via2 Imm.rem a b) (Bits.rem a b));
+    imm_prop "imm logand/logor/logxor/lognot" gen_imm_pair (fun (a, b) ->
+        let w = Bits.width a in
+        let pa = Imm.of_bits a and pb = Imm.of_bits b in
+        Bits.equal (Imm.to_bits ~width:w (Imm.logand pa pb)) (Bits.logand a b)
+        && Bits.equal (Imm.to_bits ~width:w (Imm.logor pa pb)) (Bits.logor a b)
+        && Bits.equal (Imm.to_bits ~width:w (Imm.logxor pa pb)) (Bits.logxor a b)
+        && Bits.equal (Imm.to_bits ~width:w (Imm.lognot w pa)) (Bits.lognot a));
+    imm_prop "imm shifts vs naive" gen_imm_bits_shift (fun (a, k) ->
+        let w = Bits.width a in
+        let p = Imm.of_bits a in
+        Bits.equal
+          (Imm.to_bits ~width:w (Imm.shift_left w p k))
+          (Bits.Naive.shift_left a k)
+        && Bits.equal
+             (Imm.to_bits ~width:w (Imm.shift_right w p k))
+             (Bits.Naive.shift_right a k)
+        && Bits.equal
+             (Imm.to_bits ~width:w (Imm.arith_shift_right w p k))
+             (Bits.Naive.arith_shift_right a k));
+    imm_prop "imm bit/slice" gen_imm_bits (fun a ->
+        let w = Bits.width a in
+        let p = Imm.of_bits a in
+        let lo = w / 3 and hi = w - 1 in
+        (w > 62 || Imm.bit p (w - 1) = Bits.bit a (w - 1))
+        && Bits.equal
+             (Imm.to_bits ~width:(hi - lo + 1) (Imm.slice p ~hi ~lo))
+             (Bits.Naive.slice a ~hi ~lo));
+    imm_prop "imm comparisons" gen_imm_pair (fun (a, b) ->
+        let w = Bits.width a in
+        let pa = Imm.of_bits a and pb = Imm.of_bits b in
+        Imm.equal pa pb = Bits.equal_value a b
+        && Imm.is_zero pa = Bits.is_zero a
+        && compare (Imm.ucompare w pa pb) 0 = compare (Bits.compare a b) 0
+        && Imm.lt w pa pb = Bits.lt a b
+        && Imm.le w pa pb = Bits.le a b
+        && Imm.gt w pa pb = Bits.gt a b
+        && Imm.ge w pa pb = Bits.ge a b
+        && Imm.signed_lt w pa pb = Bits.signed_lt a b
+        && Imm.signed_le w pa pb = Bits.signed_le a b);
+    imm_prop "imm reductions" gen_imm_bits (fun a ->
+        let w = Bits.width a in
+        let p = Imm.of_bits a in
+        Imm.reduce_and w p = Bits.reduce_and a
+        && Imm.reduce_or p = Bits.reduce_or a
+        && Imm.reduce_xor p = Bits.reduce_xor a);
+    imm_prop "imm sign_extend" gen_imm_bits (fun a ->
+        let from = Bits.width a in
+        List.for_all
+          (fun w ->
+            w < from
+            || Bits.equal
+                 (Imm.to_bits ~width:w
+                    (Imm.sign_extend ~from w (Imm.of_bits a)))
+                 (Bits.Naive.sign_extend a w))
+          [ from; 62; 63 ]);
+    imm_prop "imm resize truncates like Bits.resize" gen_imm_bits (fun a ->
+        let from = Bits.width a in
+        List.for_all
+          (fun w ->
+            Bits.equal
+              (Imm.to_bits ~width:w (Imm.resize w (Imm.of_bits a)))
+              (Bits.resize a w))
+          [ 1; (from + 1) / 2; from ]);
+    imm_prop "imm to_int_trunc" gen_imm_bits (fun a ->
+        Imm.to_int_trunc (Imm.of_bits a) = Bits.to_int_trunc a);
+  ]
+
+(* Directed cases the generators cannot be trusted to hit: the exact
+   top-bit-of-width-63 patterns (negative raw ints), mask-on-write,
+   and the 63/64/65 seam where values overflow out of the immediate
+   form into limbs. *)
+
+let test_imm_width63_top_bit () =
+  check_bool "fits 63" true (Imm.fits 63);
+  check_bool "fits 64 is limb territory" false (Imm.fits 64);
+  check_bool "fits 65 is limb territory" false (Imm.fits 65);
+  check_int "mask 63 is all bits" (-1) (Imm.mask 63);
+  check_int "ones(63) raw pattern is -1" (-1) (Imm.of_bits (Bits.ones 63));
+  (* ones + one wraps to zero at the full int width *)
+  check_int "ones+1 wraps" 0 (Imm.add 63 (Imm.of_bits (Bits.ones 63)) 1);
+  (* unsigned order: all-ones (raw -1) is the maximum, not the minimum *)
+  check_bool "ucompare treats -1 as max" true
+    (Imm.ucompare 63 (Imm.of_bits (Bits.ones 63)) 1 > 0);
+  check_bool "unsigned 1 < ones" true (Imm.lt 63 1 (Imm.of_bits (Bits.ones 63)));
+  (* signed order: the same pattern is -1, below zero *)
+  check_bool "signed ones < 0" true
+    (Imm.signed_lt 63 (Imm.of_bits (Bits.ones 63)) 0);
+  (* 1 lsl 62 is the width-63 sign bit *)
+  check_bool "shift into the sign bit" true
+    (Bits.equal
+       (Imm.to_bits ~width:63 (Imm.shift_left 63 1 62))
+       (Bits.shift_left (Bits.one 63) 62));
+  (* division on negative raw patterns must stay unsigned *)
+  let top = Imm.shift_left 63 1 62 in
+  check_int "unsigned div of top bit" top (Imm.div 63 top 1);
+  check_int "top/top = 1" 1 (Imm.div 63 top top);
+  check_int "rem below divisor" 1 (Imm.rem 63 (Imm.add 63 top 1) top)
+
+let test_imm_mask_on_write () =
+  check_int "of_int masks width 1" 1 (Imm.of_int ~width:1 (-1));
+  check_int "of_int masks width 62" (Imm.mask 62) (Imm.of_int ~width:62 (-1));
+  check_int "of_int keeps width 63 raw" (-1) (Imm.of_int ~width:63 (-1));
+  (* width-62 ops never leak into bit 62 *)
+  let m62 = Imm.mask 62 in
+  check_int "add wraps at 62" 0 (Imm.add 62 m62 1);
+  check_int "lognot stays masked" 0 (Imm.lognot 62 m62);
+  check_int "sign_extend 1->62 fills exactly 62 bits" m62
+    (Imm.sign_extend ~from:1 62 1)
+
+let test_imm_mul_overflow_seam () =
+  (* the low 63 bits of a product depend only on the low 63 bits of the
+     operands: computing in the immediate form after resize must match
+     resizing the 65-bit limb product *)
+  let a = Bits.of_hex_string ~width:65 "123456789abcdef01" in
+  let b = Bits.of_hex_string ~width:65 "1fedcba9876543210" in
+  let low63 x = Bits.resize x 63 in
+  check_bool "63-bit window of a 65-bit product" true
+    (Bits.equal
+       (Imm.to_bits ~width:63
+          (Imm.mul 63 (Imm.of_bits (low63 a)) (Imm.of_bits (low63 b))))
+       (low63 (Bits.Naive.mul a b)));
+  (* at width exactly 63, squaring all-ones wraps to 1 in both forms *)
+  check_int "ones(63)^2 = 1 immediate" 1
+    (Imm.mul 63 (Imm.of_bits (Bits.ones 63)) (Imm.of_bits (Bits.ones 63)));
+  check_bool "ones(63)^2 = 1 limbs" true
+    (Bits.equal (Bits.Naive.mul (Bits.ones 63) (Bits.ones 63)) (Bits.one 63))
+
+let suite =
+  suite
+  @ List.map QCheck_alcotest.to_alcotest imm_properties
+  @ [
+      Alcotest.test_case "imm width-63 top-bit patterns" `Quick
+        test_imm_width63_top_bit;
+      Alcotest.test_case "imm mask-on-write" `Quick test_imm_mask_on_write;
+      Alcotest.test_case "imm/limb mul overflow seam" `Quick
+        test_imm_mul_overflow_seam;
+    ]

@@ -165,19 +165,62 @@ let prop_replay_deterministic =
     QCheck2.Gen.(
       triple
         (oneofl property_bugs)
-        (oneofl [ Simulator.Event_driven; Simulator.Brute_force ])
+        (oneofl
+           [ Simulator.Event_driven; Simulator.Brute_force; Simulator.Lowered ])
         (int_range 5 60))
     (fun (id, kernel, every) ->
       replay_matches_straight ~kernel ~every (bug id))
 
-(* Every checkpoint of the D2 stream replays identically under both
-   kernels - the fixed pair the CI gate pins down. *)
+(* Every checkpoint of the D2 stream replays identically under every
+   kernel - the fixed set the CI gate pins down. *)
 let test_replay_d2_both_kernels () =
   List.iter
     (fun kernel ->
       check_bool "D2 deterministic" true
         (replay_matches_straight ~kernel ~every:50 (bug "D2")))
-    [ Simulator.Event_driven; Simulator.Brute_force ]
+    [ Simulator.Event_driven; Simulator.Brute_force; Simulator.Lowered ]
+
+(* Checkpoints are kernel-agnostic: a snapshot taken under one settle
+   kernel restores into a simulator built with another, and the
+   continued run is byte-identical to that kernel's straight run. This
+   is what lets a lowered-kernel campaign hand a checkpoint to an
+   event-driven debug session (and back). *)
+let test_checkpoint_crosses_kernels () =
+  let cross ~record_kernel ~replay_kernel (b : Bug.t) =
+    let rc = Replay.record ~kernel:record_kernel ~every:10 b in
+    match rc.Replay.rec_checkpoints with
+    | [] -> Alcotest.failf "%s produced no checkpoints" b.Bug.id
+    | cps ->
+        let ck = List.nth cps ((List.length cps - 1) / 2) in
+        let ck = Checkpoint.of_string (Checkpoint.to_string ck) in
+        let straight =
+          Bug.run_design ~kernel:replay_kernel ~vcd:true
+            ~vcd_from:ck.Checkpoint.ck_cycle b
+            (Bug.design_of b ~buggy:true)
+        in
+        let replayed = Replay.replay ~kernel:replay_kernel ~from:ck b in
+        check_bool
+          (Printf.sprintf "%s: %s checkpoint restored under %s" b.Bug.id
+             (Simulator.kernel_name record_kernel)
+             (Simulator.kernel_name replay_kernel))
+          true
+          (straight.Bug.vcd = replayed.Bug.vcd
+          && straight.Bug.rows = replayed.Bug.rows
+          && straight.Bug.log = replayed.Bug.log
+          && straight.Bug.stuck = replayed.Bug.stuck
+          && straight.Bug.finished = replayed.Bug.finished
+          && straight.Bug.cycles = replayed.Bug.cycles)
+  in
+  List.iter
+    (fun id ->
+      let b = bug id in
+      cross ~record_kernel:Simulator.Lowered
+        ~replay_kernel:Simulator.Event_driven b;
+      cross ~record_kernel:Simulator.Event_driven
+        ~replay_kernel:Simulator.Lowered b;
+      cross ~record_kernel:Simulator.Lowered
+        ~replay_kernel:Simulator.Brute_force b)
+    [ "D2"; "C4" ]
 
 (* --- bisection ------------------------------------------------------- *)
 
@@ -241,6 +284,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_replay_deterministic;
     Alcotest.test_case "D2 replay deterministic on both kernels" `Quick
       test_replay_d2_both_kernels;
+    Alcotest.test_case "checkpoints cross settle kernels" `Quick
+      test_checkpoint_crosses_kernels;
     Alcotest.test_case "bisect matches linear reference" `Quick
       test_bisect_matches_linear_reference;
     Alcotest.test_case "bisect is interval-invariant" `Quick

@@ -181,8 +181,8 @@ let prop_rng_independent_of_global_state =
 let test_run_one_deterministic () =
   List.iter
     (fun (seed, index) ->
-      let a = Fuzz.run_one ~seed ~index in
-      let b = Fuzz.run_one ~seed ~index in
+      let a = Fuzz.run_one ~seed ~index () in
+      let b = Fuzz.run_one ~seed ~index () in
       check_bool
         (Printf.sprintf "run_one (%d, %d) reproducible" seed index)
         true (a = b))
@@ -222,6 +222,21 @@ let test_identity_no_divergence () =
           Alcotest.failf "%s: identity classified %s (%s)" bug.Bug.id
             (Fuzz.outcome_name o) (Fuzz.outcome_detail o))
     Registry.all
+
+(* Same null hypothesis with the lowered kernel as the primary side of
+   the differential: lowered vs brute-force and lowered vs
+   lowered-instrumented must also be silent on every fuzz target. *)
+let test_identity_lowered_primary () =
+  List.iter
+    (fun (bug : Bug.t) ->
+      match
+        Fuzz.classify_identity ~kernel:Fpga_sim.Simulator.Lowered bug
+      with
+      | Fuzz.Equivalent -> ()
+      | o ->
+          Alcotest.failf "%s: lowered identity classified %s (%s)" bug.Bug.id
+            (Fuzz.outcome_name o) (Fuzz.outcome_detail o))
+    Fuzz.targets
 
 (* ------------------------------------------------------------------ *)
 (* Every template yields an elaborating mutant on the real targets     *)
@@ -293,8 +308,9 @@ let test_fuzz_json_schema () =
   List.iter
     (fun key -> check_bool key true (contains json key))
     [
-      "\"schema\": \"fpga-debug-fuzz/1\"";
+      "\"schema\": \"fpga-debug-fuzz/2\"";
       "\"seed\": 2";
+      "\"kernel\": \"event\"";
       "\"mutants\": 4";
       "\"targets\"";
       "\"counts\"";
@@ -322,6 +338,8 @@ let suite =
       test_fuzz_campaign_across_widths;
     Alcotest.test_case "identity mutants: zero divergences, full testbed"
       `Slow test_identity_no_divergence;
+    Alcotest.test_case "identity under lowered primary kernel" `Slow
+      test_identity_lowered_primary;
     Alcotest.test_case "all 13 templates elaborate on fuzz targets" `Slow
       test_templates_elaborate_on_targets;
     Alcotest.test_case "validity gate accepts identity, rejects bad top"

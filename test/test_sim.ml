@@ -710,21 +710,68 @@ let test_event_kernel_matches_brute_force () =
       let flat = Elaborate.elaborate design ~top:bug.Fpga_testbed.Bug.top in
       let ev = Simulator.create ~kernel:Simulator.Event_driven flat in
       let bf = Simulator.create ~kernel:Simulator.Brute_force flat in
+      let lw = Simulator.create ~kernel:Simulator.Lowered flat in
       for i = 0 to 199 do
         let ins = bug.Fpga_testbed.Bug.stimulus i in
         List.iter (fun (n, v) -> Simulator.set_input ev n v) ins;
         List.iter (fun (n, v) -> Simulator.set_input bf n v) ins;
+        List.iter (fun (n, v) -> Simulator.set_input lw n v) ins;
         Simulator.step ev;
         Simulator.step bf;
+        Simulator.step lw;
         if signal_state flat ev <> signal_state flat bf then
-          Alcotest.failf "%s: signal state diverges at cycle %d" id i
+          Alcotest.failf "%s: event/brute signal state diverges at cycle %d"
+            id i;
+        if signal_state flat lw <> signal_state flat bf then
+          Alcotest.failf "%s: lowered/brute signal state diverges at cycle %d"
+            id i
       done;
       check_bool
         (Printf.sprintf "%s: finished flags agree" id)
         (Simulator.finished bf) (Simulator.finished ev);
+      check_bool
+        (Printf.sprintf "%s: lowered finished flag agrees" id)
+        (Simulator.finished bf) (Simulator.finished lw);
       if Simulator.log ev <> Simulator.log bf then
-        Alcotest.failf "%s: $display log diverges" id)
+        Alcotest.failf "%s: $display log diverges" id;
+      if Simulator.log lw <> Simulator.log bf then
+        Alcotest.failf "%s: lowered $display log diverges" id)
     [ "D2"; "D4"; "D8"; "C4" ]
+
+(* Full-testbed three-way differential through the harness: every bug,
+   both design variants, identical reports — rows, log, flags, cycle
+   counts, and the complete VCD waveform — under all three kernels. *)
+let test_three_kernels_full_testbed () =
+  List.iter
+    (fun (bug : Fpga_testbed.Bug.t) ->
+      List.iter
+        (fun buggy ->
+          let design = Fpga_testbed.Bug.design_of bug ~buggy in
+          let run kernel =
+            Fpga_testbed.Bug.run_design ~vcd:true ~kernel bug design
+          in
+          let bf = run Simulator.Brute_force in
+          List.iter
+            (fun kernel ->
+              let r = run kernel in
+              let name = Simulator.kernel_name kernel in
+              let tag fmt =
+                Printf.sprintf fmt bug.Fpga_testbed.Bug.id name
+                  (if buggy then "buggy" else "fixed")
+              in
+              check_bool (tag "%s %s %s rows") true
+                (r.Fpga_testbed.Bug.rows = bf.Fpga_testbed.Bug.rows);
+              check_bool (tag "%s %s %s log") true
+                (r.Fpga_testbed.Bug.log = bf.Fpga_testbed.Bug.log);
+              check_bool (tag "%s %s %s vcd") true
+                (r.Fpga_testbed.Bug.vcd = bf.Fpga_testbed.Bug.vcd);
+              check_bool (tag "%s %s %s flags") true
+                (r.Fpga_testbed.Bug.stuck = bf.Fpga_testbed.Bug.stuck
+                && r.Fpga_testbed.Bug.finished = bf.Fpga_testbed.Bug.finished
+                && r.Fpga_testbed.Bug.cycles = bf.Fpga_testbed.Bug.cycles))
+            [ Simulator.Event_driven; Simulator.Lowered ])
+        [ true; false ])
+    Fpga_testbed.Registry.all
 
 let test_comb_display_fires_every_cycle () =
   (* a combinational $display fires once per cycle in the seed sweep
@@ -859,6 +906,8 @@ let suite =
   @ [
       Alcotest.test_case "event kernel == brute force (testbed, 200 cycles)"
         `Quick test_event_kernel_matches_brute_force;
+      Alcotest.test_case "three kernels identical over the full testbed"
+        `Slow test_three_kernels_full_testbed;
       Alcotest.test_case "comb $display fires every cycle" `Quick
         test_comb_display_fires_every_cycle;
       Alcotest.test_case "event kernel on idle design" `Quick
