@@ -289,6 +289,10 @@ type overhead = {
   to_cps_off : float;
   to_cps_on : float;
   to_overhead_pct : float;
+  (* same workload with structured tracing on (telemetry off): the
+     span-tree buffer plus the window-sampled counter series *)
+  to_cps_trace : float;
+  to_trace_overhead_pct : float;
 }
 
 let telemetry_overhead_one (d : bench_design) =
@@ -302,11 +306,22 @@ let telemetry_overhead_one (d : bench_design) =
     Fun.protect ~finally:Telemetry.disable @@ fun () ->
     sim_cycles_per_sec ~kernel flat d.bd_stim
   in
+  Telemetry.Trace.enable ~clock:Telemetry.Trace.Virtual ();
+  Telemetry.Trace.reset ();
+  let cps_trace =
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.Trace.reset ();
+        Telemetry.Trace.disable ())
+      (fun () -> sim_cycles_per_sec ~kernel flat d.bd_stim)
+  in
   {
     to_design = d.bd_id;
     to_cps_off = cps_off;
     to_cps_on = cps_on;
     to_overhead_pct = 100.0 *. (1.0 -. (cps_on /. cps_off));
+    to_cps_trace = cps_trace;
+    to_trace_overhead_pct = 100.0 *. (1.0 -. (cps_trace /. cps_off));
   }
 
 let telemetry_overhead_benches () =
@@ -363,7 +378,7 @@ let campaign_benches () =
 
 let json_of_results results lowerings bits lookup telem overheads campaigns =
   let buf = Buffer.create 2048 in
-  Buffer.add_string buf "{\n  \"schema\": \"fpga-debug-bench/5\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"fpga-debug-bench/6\",\n";
   Buffer.add_string buf "  \"designs\": [\n";
   List.iteri
     (fun i r ->
@@ -441,8 +456,10 @@ let json_of_results results lowerings bits lookup telem overheads campaigns =
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"design\": %S, \"cps_off\": %.1f, \"cps_on\": %.1f, \
-            \"overhead_pct\": %.1f}%s\n"
+            \"overhead_pct\": %.1f, \"cps_trace_on\": %.1f, \
+            \"trace_overhead_pct\": %.1f}%s\n"
            o.to_design o.to_cps_off o.to_cps_on o.to_overhead_pct
+           o.to_cps_trace o.to_trace_overhead_pct
            (if i = List.length overheads - 1 then "" else ",")))
     overheads;
   (* campaign entries are keyed on "domains" — like the telemetry
@@ -636,12 +653,14 @@ let run_json_bench path baseline =
         t.ts_settles t.ts_node_rounds t.ts_nodes_evaluated
         (100.0 *. t.ts_efficiency) t.ts_bus_published t.ts_bus_dropped)
     telem;
-  Printf.printf "\n%-8s %16s %16s %10s\n" "design" "cyc/s telem off"
-    "cyc/s telem on" "overhead";
+  Printf.printf "\n%-8s %16s %16s %10s %16s %10s\n" "design"
+    "cyc/s telem off" "cyc/s telem on" "overhead" "cyc/s trace on"
+    "tr ovhd";
   List.iter
     (fun o ->
-      Printf.printf "%-8s %16.1f %16.1f %9.1f%%\n" o.to_design o.to_cps_off
-        o.to_cps_on o.to_overhead_pct)
+      Printf.printf "%-8s %16.1f %16.1f %9.1f%% %16.1f %9.1f%%\n" o.to_design
+        o.to_cps_off o.to_cps_on o.to_overhead_pct o.to_cps_trace
+        o.to_trace_overhead_pct)
     overheads;
   Printf.printf "\n%-8s %10s %10s %14s %12s %9s\n" "domains" "wall s"
     "jobs/s" "cycles/s" "util" "speedup";

@@ -43,6 +43,46 @@ let out_arg =
 let buffer_arg =
   Arg.(value & opt int 8192 & info [ "buffer" ] ~docv:"DEPTH" ~doc:"Recording buffer depth (power of two)")
 
+(* Shared structured-tracing surface: --trace FILE turns the
+   Telemetry.Trace layer on around the command's computation and
+   serializes the span tree to Chrome-trace JSON (open in Perfetto).
+   [jobs_of] extracts the campaign pool's per-job segments from the
+   traced value; single-domain commands leave it at []. *)
+module Trace = Fpga_telemetry.Telemetry.Trace
+module Trace_export = Fpga_telemetry.Trace_export
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome-trace (Perfetto) JSON timeline of the \
+                 run to FILE")
+
+let trace_clock_arg =
+  Arg.(value
+       & opt (enum [ ("wall", Trace.Wall); ("virtual", Trace.Virtual) ])
+           Trace.Wall
+       & info [ "trace-clock" ] ~docv:"CLOCK"
+           ~doc:"Trace timestamp source: wall (physical timeline, idle \
+                 gaps visible) or virtual (deterministic; the file is \
+                 byte-identical at any --jobs width)")
+
+let traced ~trace ~clock ?(jobs_of = fun _ -> []) run =
+  match trace with
+  | None -> run ()
+  | Some path ->
+      (match clock with
+      | Trace.Wall -> Trace.set_clock Unix.gettimeofday
+      | Trace.Virtual -> ());
+      Trace.enable ~clock ();
+      let v = Fun.protect ~finally:Trace.disable run in
+      let main = Trace.capture_all ~consume:true () in
+      let json = Trace_export.to_json ~clock ~main ~jobs:(jobs_of v) () in
+      let oc = open_out path in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "wrote %s\n" path;
+      v
+
 (* Shared settle-kernel selector: [None] keeps [Simulator.create]'s
    automatic plan-shape selection. *)
 let kernel_arg =
@@ -446,13 +486,15 @@ let replay_cmd =
          & info [ "every" ] ~docv:"K"
              ~doc:"Checkpoint interval for --bisect")
   in
-  let run id from window bisect every out =
+  let run id from window bisect every out trace trace_clock =
     let bug = find_bug id in
     let module Replay = Fpga_testbed.Replay in
     let module Checkpoint = Fpga_sim.Checkpoint in
     try
       if bisect then (
-        let r = Replay.bisect ~every bug in
+        let r =
+          traced ~trace ~clock:trace_clock (fun () -> Replay.bisect ~every bug)
+        in
         print_endline r.Replay.bi_detail;
         match r.Replay.bi_first_failing with
         | Some c -> Printf.printf "first failing cycle: %d\n" c
@@ -466,7 +508,10 @@ let replay_cmd =
             exit 1
         | Some path ->
             let ck = Checkpoint.load path in
-            let report = Replay.replay ?window ~from:ck bug in
+            let report =
+              traced ~trace ~clock:trace_clock (fun () ->
+                  Replay.replay ?window ~from:ck bug)
+            in
             let out =
               Option.value out
                 ~default:
@@ -486,7 +531,7 @@ let replay_cmd =
   in
   Cmd.v (Cmd.info "replay" ~doc)
     Term.(const run $ bug_arg $ from_arg $ window_arg $ bisect_arg
-          $ every_arg $ out_arg)
+          $ every_arg $ out_arg $ trace_arg $ trace_clock_arg)
 
 (* --- profile -------------------------------------------------------- *)
 
@@ -507,9 +552,12 @@ let profile_cmd =
   let top_arg =
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"Hottest signals to show")
   in
-  let run id cycles json buffer top_k kernel =
+  let run id cycles json buffer top_k trace trace_clock kernel =
     let bug = find_bug id in
-    let p = Fpga_report.Profile.run ?kernel ~cycles ~buffer ~top_k bug in
+    let p =
+      traced ~trace ~clock:trace_clock (fun () ->
+          Fpga_report.Profile.run ?kernel ~cycles ~buffer ~top_k bug)
+    in
     Fpga_report.Profile.print p;
     match json with
     | None -> ()
@@ -521,7 +569,7 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ bug_arg $ cycles_arg $ json_arg $ buffer_arg $ top_arg
-          $ kernel_arg)
+          $ trace_arg $ trace_clock_arg $ kernel_arg)
 
 (* --- lint ------------------------------------------------------------ *)
 
@@ -677,7 +725,8 @@ let sim_cmd =
                  Some (cycle, parsed)
              | _ -> None)
   in
-  let run file top cycles stim watch vcd_out kernel =
+  let run file top cycles stim watch vcd_out trace trace_clock kernel =
+    traced ~trace ~clock:trace_clock @@ fun () ->
     let module Telemetry = Fpga_telemetry.Telemetry in
     let design =
       Telemetry.span "parse" @@ fun () ->
@@ -734,7 +783,7 @@ let sim_cmd =
   in
   Cmd.v (Cmd.info "sim" ~doc)
     Term.(const run $ file_arg $ top_arg $ cycles_arg $ stim_arg $ watch_arg
-          $ vcd_arg $ kernel_arg)
+          $ vcd_arg $ trace_arg $ trace_clock_arg $ kernel_arg)
 
 (* --- export ----------------------------------------------------------- *)
 
@@ -823,7 +872,8 @@ let campaign_cmd =
              ~doc:"Also run a checkpoint/replay determinism job per bug \
                    (checkpoint every K cycles)")
   in
-  let run jobs bugs differential sweep json replay_every kernel =
+  let run jobs bugs differential sweep json replay_every trace trace_clock
+      kernel =
     let bugs =
       match bugs with
       | None -> Registry.all
@@ -845,8 +895,10 @@ let campaign_cmd =
           |> List.map int_of_string
     in
     let c =
-      Fpga_campaign.Campaign.run ?domains:jobs ?kernel ~differential ~sweeps
-        ?replay_every bugs
+      traced ~trace ~clock:trace_clock
+        ~jobs_of:Fpga_campaign.Campaign.trace_segments (fun () ->
+          Fpga_campaign.Campaign.run ?domains:jobs ?kernel ~differential
+            ~sweeps ?replay_every bugs)
     in
     Fpga_campaign.Campaign.print c;
     (match json with
@@ -860,7 +912,7 @@ let campaign_cmd =
   in
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(const run $ jobs_arg $ bugs_arg $ differential_arg $ sweep_arg
-          $ json_arg $ replay_arg $ kernel_arg)
+          $ json_arg $ replay_arg $ trace_arg $ trace_clock_arg $ kernel_arg)
 
 (* --- fuzz ----------------------------------------------------------- *)
 
@@ -898,12 +950,15 @@ let fuzz_cmd =
          & info [ "repro-dir" ] ~docv:"DIR"
              ~doc:"Write a .v reproducer per kernel mismatch into DIR")
   in
-  let run seed mutants jobs json repro_dir kernel =
+  let run seed mutants jobs json repro_dir trace trace_clock kernel =
     if mutants <= 0 then (
       Printf.eprintf "--mutants must be positive\n";
       exit 1);
     let fc =
-      Fpga_campaign.Campaign.run_fuzz ?domains:jobs ?kernel ~seed ~mutants ()
+      traced ~trace ~clock:trace_clock
+        ~jobs_of:Fpga_campaign.Campaign.fuzz_trace_segments (fun () ->
+          Fpga_campaign.Campaign.run_fuzz ?domains:jobs ?kernel ~seed ~mutants
+            ())
     in
     Fpga_campaign.Campaign.print_fuzz fc;
     (match json with
@@ -939,7 +994,37 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(const run $ seed_arg $ mutants_arg $ jobs_arg $ json_arg $ repro_arg
-          $ kernel_arg)
+          $ trace_arg $ trace_clock_arg $ kernel_arg)
+
+(* --- trace-check ----------------------------------------------------- *)
+
+let trace_check_cmd =
+  let doc =
+    "Validate a --trace JSON file: parses it (strictly), checks the \
+     fpga-debug-trace/1 envelope and every event's ph/pid/tid/ts \
+     shape, and verifies B/E span balance per track. Exits non-zero on \
+     any malformed input — the reader-side gate the trace-smoke CI job \
+     runs over freshly exported traces."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Trace JSON file (from --trace)")
+  in
+  let run file =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    match Trace_export.validate text with
+    | Ok s ->
+        Printf.printf
+          "%s: valid %s (%d events: %d spans, %d counter samples, %d \
+           instants, %d tracks)\n"
+          file Trace_export.schema s.Trace_export.v_events
+          s.Trace_export.v_spans s.Trace_export.v_counters
+          s.Trace_export.v_instants s.Trace_export.v_tracks
+    | Error e ->
+        Printf.eprintf "%s: invalid trace: %s\n" file e;
+        exit 1
+  in
+  Cmd.v (Cmd.info "trace-check" ~doc) Term.(const run $ file_arg)
 
 (* --- report --------------------------------------------------------- *)
 
@@ -987,5 +1072,5 @@ let () =
             list_cmd; repro_cmd; fsm_cmd; stats_cmd; deps_cmd; losscheck_cmd;
             instrument_cmd; vcd_cmd; checkpoint_cmd; replay_cmd; profile_cmd;
             lint_cmd; wavediff_cmd; snippets_cmd; export_cmd; sim_cmd;
-            report_cmd; campaign_cmd; fuzz_cmd;
+            report_cmd; campaign_cmd; fuzz_cmd; trace_check_cmd;
           ]))

@@ -20,6 +20,7 @@ module Registry = Fpga_testbed.Registry
 module Simulator = Fpga_sim.Simulator
 module Taxonomy = Fpga_study.Taxonomy
 module Telemetry = Fpga_telemetry.Telemetry
+module Trace = Fpga_telemetry.Telemetry.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Generic domain pool                                                 *)
@@ -33,6 +34,9 @@ type 'a job_result = {
   jr_wall : float;  (* seconds spent executing the job body *)
   jr_domain : int;  (* 0-based index of the worker that ran it *)
   jr_value : ('a, string) result;  (* Error carries the exception text *)
+  jr_trace : Trace.segment;
+      (* the job's slice of its worker's trace buffer (empty when
+         tracing is off): rebased, so identical at any pool width *)
 }
 
 type pool_stats = {
@@ -72,14 +76,21 @@ let run_pool ?domains (jobs : 'a job array) :
      that claimed index [i]. *)
   let worker wid () =
     Printexc.record_backtrace true;
+    (* every job records on its worker's own track (tid wid+1; 0 is the
+       main domain). The track is restored afterwards because in the
+       inline (domains <= 1) case this IS the caller's sink. *)
+    let tracing = Trace.enabled () in
+    let track0 = Trace.track () in
+    if tracing then Trace.set_track (wid + 1);
     let busy = ref 0.0 in
     let rec drain () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then (
         let job = jobs.(i) in
+        let mark = if tracing then Trace.mark () else 0 in
         let jt0 = now () in
         let value =
-          try Ok (job.work ())
+          try Ok (Trace.with_span ~cat:"job" job.label job.work)
           with e ->
             let bt = Printexc.get_backtrace () in
             Error
@@ -88,6 +99,14 @@ let run_pool ?domains (jobs : 'a job array) :
         in
         let wall = now () -. jt0 in
         busy := !busy +. wall;
+        (* slice this job's events out of the worker's buffer (and
+           consume them, so a long campaign never hits the trace cap
+           from sheer job count); the rebased segment is slotted by
+           submission index like every other result field *)
+        let seg =
+          if tracing then Trace.capture_since ~consume:true mark
+          else Trace.empty_segment
+        in
         results.(i) <-
           Some
             {
@@ -96,10 +115,12 @@ let run_pool ?domains (jobs : 'a job array) :
               jr_wall = wall;
               jr_domain = wid;
               jr_value = value;
+              jr_trace = seg;
             };
         drain ())
     in
     drain ();
+    if tracing then Trace.set_track track0;
     (!busy, Telemetry.report ())
   in
   let per_worker =
@@ -366,6 +387,11 @@ let ok (c : t) =
     (fun r -> match r.jr_value with Ok v -> v.v_ok | Error _ -> false)
     c.c_results
 
+(* Per-job trace segments in submission order, ready for
+   [Trace_export.to_json ~jobs]. Labels keep their "kind:..." shape. *)
+let trace_segments (c : t) =
+  Array.to_list c.c_results |> List.map (fun r -> (r.jr_label, r.jr_trace))
+
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -513,6 +539,9 @@ let run_fuzz ?domains ?(kernel = Simulator.Event_driven) ~seed ~mutants () :
   in
   let results, stats = run_pool ?domains jobs in
   { f_seed = seed; f_kernel = kernel; f_results = results; f_stats = stats }
+
+let fuzz_trace_segments (fc : fuzz_campaign) =
+  Array.to_list fc.f_results |> List.map (fun r -> (r.jr_label, r.jr_trace))
 
 let fuzz_findings (fc : fuzz_campaign) : Fuzz.result list =
   Array.to_list fc.f_results

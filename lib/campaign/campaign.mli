@@ -25,6 +25,12 @@ type 'a job_result = {
   jr_domain : int;  (** 0-based worker that ran it *)
   jr_value : ('a, string) result;
       (** [Error] carries the exception text of a raising job *)
+  jr_trace : Fpga_telemetry.Telemetry.Trace.segment;
+      (** the job's slice of its worker's trace buffer (empty while
+          tracing is off). Each job body runs inside a tree span named
+          after its label (category ["job"]) on its worker's track
+          (worker [w] records on track [w+1]); the captured segment is
+          rebased, so it is identical at any pool width. *)
 }
 
 type pool_stats = {
@@ -118,6 +124,11 @@ val run :
 val ok : t -> bool
 (** Every job completed with [v_ok]. *)
 
+val trace_segments :
+  t -> (string * Fpga_telemetry.Telemetry.Trace.segment) list
+(** (label, segment) per job, in submission order — the [~jobs]
+    argument of {!Fpga_telemetry.Trace_export.to_json}. *)
+
 val to_json : t -> string
 (** Schema [fpga-debug-campaign/1]: per-job wall time, worker, verdict
     (waveforms summarized as length + MD5), plus aggregate throughput,
@@ -160,6 +171,10 @@ val fuzz_ok : fuzz_campaign -> bool
 
 val fuzz_findings : fuzz_campaign -> Fpga_fuzz.Fuzz.result list
 (** The kernel mismatches, in mutant-index order. *)
+
+val fuzz_trace_segments :
+  fuzz_campaign -> (string * Fpga_telemetry.Telemetry.Trace.segment) list
+(** (label, segment) per mutant job, in mutant-index order. *)
 
 val fuzz_to_json : fuzz_campaign -> string
 (** Schema [fpga-debug-fuzz/2] (v2 adds the ["kernel"] field). Contains

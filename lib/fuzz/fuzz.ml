@@ -232,7 +232,9 @@ let repro_text ~bug ~seed ~index ~sub_seed ~why ~mutations design =
 
 let run_one ?(kernel = Simulator.Event_driven) ~seed ~index () =
   let sub_seed = Mutate.derive seed index in
-  let bug, mutant, muts = generate ~seed ~index in
+  let bug, mutant, muts =
+    Telemetry.span "fuzz.generate" (fun () -> generate ~seed ~index)
+  in
   let base = Bug.design_of bug ~buggy:false in
   let mk outcome minimized repro =
     {
@@ -249,10 +251,14 @@ let run_one ?(kernel = Simulator.Event_driven) ~seed ~index () =
   match Mutate.validate ~top:bug.Bug.top ~baseline:base mutant with
   | Error reason -> mk (Invalid reason) muts None
   | Ok valid -> (
-      match mismatch_of ~kernel bug valid with
+      match
+        Telemetry.span "fuzz.differential" (fun () ->
+            mismatch_of ~kernel bug valid)
+      with
       | Some why ->
           let min_muts, min_design, min_why =
-            minimize ~kernel bug base (muts, valid, why)
+            Telemetry.span "fuzz.minimize" (fun () ->
+                minimize ~kernel bug base (muts, valid, why))
           in
           let repro =
             repro_text ~bug ~seed ~index ~sub_seed ~why:min_why

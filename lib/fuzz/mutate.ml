@@ -19,6 +19,7 @@ module Pp = Fpga_hdl.Pp_verilog
 module Taxonomy = Fpga_study.Taxonomy
 module Width = Fpga_analysis.Width
 module Lint = Fpga_analysis.Lint
+module Telemetry = Fpga_telemetry.Telemetry
 open Ast
 
 type mutation = {
@@ -743,33 +744,56 @@ let lint_errors d =
              | Lint.Warning -> None)
            fs)
 
+let validate_ok_counter = Telemetry.Counter.make "fuzz.validate_ok"
+let validate_reject_counter = Telemetry.Counter.make "fuzz.validate_rejects"
+
 let validate ~top ~baseline (d : design) =
-  match Fpga_hdl.Parser.parse_design (Pp.design_to_string d) with
-  | exception Fpga_hdl.Parser.Parse_error (msg, line) ->
-      Error (Printf.sprintf "does not re-parse: %s (line %d)" msg line)
-  | exception e -> Error ("does not re-parse: " ^ Printexc.to_string e)
-  | reparsed -> (
-      match Fpga_sim.Elaborate.elaborate reparsed ~top with
-      | exception Fpga_sim.Elaborate.Elaboration_error msg ->
-          Error ("does not elaborate: " ^ msg)
-      | exception e -> Error ("does not elaborate: " ^ Printexc.to_string e)
-      | flat -> (
-          match check_widths reparsed with
-          | Error e -> Error ("width check: " ^ e)
-          | Ok () -> (
-              let base_errs = lint_errors baseline in
-              let introduced =
-                List.filter
-                  (fun f -> not (List.mem f base_errs))
-                  (lint_errors reparsed)
-              in
-              if introduced <> [] then
-                Error ("lint: " ^ String.concat "; " introduced)
-              else
-                match Fpga_sim.Simulator.create flat with
-                | exception Fpga_sim.Simulator.Combinational_cycle sigs ->
-                    Error
-                      ("combinational cycle: " ^ String.concat " -> " sigs)
-                | exception e ->
-                    Error ("simulator rejects: " ^ Printexc.to_string e)
-                | (_ : Fpga_sim.Simulator.t) -> Ok reparsed)))
+  Telemetry.span "fuzz.validate" @@ fun () ->
+  let result =
+    match
+      Telemetry.span "fuzz.validate.reparse" (fun () ->
+          Fpga_hdl.Parser.parse_design (Pp.design_to_string d))
+    with
+    | exception Fpga_hdl.Parser.Parse_error (msg, line) ->
+        Error (Printf.sprintf "does not re-parse: %s (line %d)" msg line)
+    | exception e -> Error ("does not re-parse: " ^ Printexc.to_string e)
+    | reparsed -> (
+        match
+          Telemetry.span "fuzz.validate.elaborate" (fun () ->
+              Fpga_sim.Elaborate.elaborate reparsed ~top)
+        with
+        | exception Fpga_sim.Elaborate.Elaboration_error msg ->
+            Error ("does not elaborate: " ^ msg)
+        | exception e -> Error ("does not elaborate: " ^ Printexc.to_string e)
+        | flat -> (
+            match
+              Telemetry.span "fuzz.validate.width" (fun () ->
+                  check_widths reparsed)
+            with
+            | Error e -> Error ("width check: " ^ e)
+            | Ok () -> (
+                let introduced =
+                  Telemetry.span "fuzz.validate.lint" (fun () ->
+                      let base_errs = lint_errors baseline in
+                      List.filter
+                        (fun f -> not (List.mem f base_errs))
+                        (lint_errors reparsed))
+                in
+                if introduced <> [] then
+                  Error ("lint: " ^ String.concat "; " introduced)
+                else
+                  match
+                    Telemetry.span "fuzz.validate.cycle_check" (fun () ->
+                        Fpga_sim.Simulator.create flat)
+                  with
+                  | exception Fpga_sim.Simulator.Combinational_cycle sigs ->
+                      Error
+                        ("combinational cycle: " ^ String.concat " -> " sigs)
+                  | exception e ->
+                      Error ("simulator rejects: " ^ Printexc.to_string e)
+                  | (_ : Fpga_sim.Simulator.t) -> Ok reparsed)))
+  in
+  (match result with
+  | Ok _ -> Telemetry.Counter.incr validate_ok_counter
+  | Error _ -> Telemetry.Counter.incr validate_reject_counter);
+  result

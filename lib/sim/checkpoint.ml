@@ -26,8 +26,12 @@
    flat Verilog identifier paths ('/'-separated) and need none. *)
 
 module Bits = Fpga_bits.Bits
+module Telemetry = Fpga_telemetry.Telemetry
 
 exception Checkpoint_error of string
+
+let ck_encoded_bytes = Telemetry.Counter.make "checkpoint.encoded_bytes"
+let ck_decoded_bytes = Telemetry.Counter.make "checkpoint.decoded_bytes"
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Checkpoint_error s)) fmt
 let magic = "fpga-debug-checkpoint"
@@ -166,8 +170,11 @@ let content_hash (t : t) : string =
   Digest.to_hex (Digest.string (body_string t))
 
 let to_string (t : t) : string =
+  Telemetry.span "checkpoint.encode" @@ fun () ->
   let body = body_string t in
-  body ^ Printf.sprintf "sha %s\n" (Digest.to_hex (Digest.string body))
+  let s = body ^ Printf.sprintf "sha %s\n" (Digest.to_hex (Digest.string body)) in
+  Telemetry.Counter.bump ck_encoded_bytes (String.length s);
+  s
 
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                             *)
@@ -224,6 +231,8 @@ let parse_hex_csv ~what ~width ~n s =
   else Array.of_list (List.map (parse_bits ~what ~width) parts)
 
 let of_string (s : string) : t =
+  Telemetry.span "checkpoint.decode" @@ fun () ->
+  Telemetry.Counter.bump ck_decoded_bytes (String.length s);
   (* 1. magic + version, before anything else, for a crisp error *)
   let header_ok prefix = String.length s >= String.length prefix
                          && String.sub s 0 (String.length prefix) = prefix in

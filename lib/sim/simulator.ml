@@ -135,6 +135,11 @@ type istats = {
   s_sample_every : int;
   mutable s_cycles_in_window : int;
   mutable s_evaluated_mark : int;  (* s_nodes_evaluated at last publish *)
+  (* bus accounting at create: the traced series reports this run's
+     publishes/drops, not the sink's lifetime totals, so the numbers
+     are identical whether the run shares a domain or owns one *)
+  s_bus_pub0 : int;
+  s_bus_drop0 : int;
 }
 
 type t = {
@@ -580,7 +585,10 @@ let create ?kernel (flat : flat) : t =
       flat.f_prims
   in
   let stats =
-    if Telemetry.enabled () then
+    (* structured tracing samples its counter series off [istats], so a
+       trace-only run (telemetry switch off) still carries them; every
+       per-cycle recording inside remains gated on its own switch *)
+    if Telemetry.enabled () || Telemetry.Trace.enabled () then
       Some
         {
           s_steps = 0;
@@ -597,6 +605,8 @@ let create ?kernel (flat : flat) : t =
           s_sample_every = Telemetry.step_sample ();
           s_cycles_in_window = 0;
           s_evaluated_mark = 0;
+          s_bus_pub0 = Telemetry.Bus.published (Telemetry.bus ());
+          s_bus_drop0 = Telemetry.Bus.dropped (Telemetry.bus ());
         }
     else None
   in
@@ -855,7 +865,19 @@ let step (sim : t) =
                   ("cycles", string_of_int window);
                   ("evaluated", string_of_int delta);
                 ];
-            })
+            };
+          (* counter series for the trace timeline, at the same sampled
+             cadence as the bus event (no per-cycle cost) *)
+          if Telemetry.Trace.enabled () then (
+            let b = Telemetry.bus () in
+            Telemetry.Trace.counter "sim.dirty" sim.ndirty;
+            Telemetry.Trace.counter "sim.evaluated" delta;
+            Telemetry.Trace.counter "sim.dense"
+              (if sim.kernel = Event_driven && sim.mode = Dense then 1 else 0);
+            Telemetry.Trace.counter "bus.published"
+              (Telemetry.Bus.published b - st.s_bus_pub0);
+            Telemetry.Trace.counter "bus.dropped"
+              (Telemetry.Bus.dropped b - st.s_bus_drop0)))
     | None -> ());
     if sim.step_hooks <> [] then
       List.iter (fun f -> f completed) sim.step_hooks)
@@ -1064,7 +1086,12 @@ let restore (sim : t) (snap : checkpoint) : unit =
    NBA queue are derived or empty at cycle boundaries, so a restored
    simulator re-derives them exactly as [restore] does. *)
 
+let ck_saves = Telemetry.Counter.make "checkpoint.saves"
+let ck_restores = Telemetry.Counter.make "checkpoint.restores"
+
 let save_checkpoint ?(tag = "") ?(meta = []) (sim : t) : Checkpoint.t =
+  Telemetry.span "checkpoint.save" @@ fun () ->
+  Telemetry.Counter.incr ck_saves;
   let ck_values =
     Array.to_list
       (Array.mapi
@@ -1109,6 +1136,8 @@ let ck_fail fmt =
   Printf.ksprintf (fun s -> raise (Checkpoint.Checkpoint_error s)) fmt
 
 let restore_checkpoint (sim : t) (ck : Checkpoint.t) : unit =
+  Telemetry.span "checkpoint.restore" @@ fun () ->
+  Telemetry.Counter.incr ck_restores;
   let here = Checkpoint.design_hash sim.flat in
   if ck.Checkpoint.ck_design <> here then
     ck_fail

@@ -23,6 +23,12 @@
 let clock = ref Sys.time
 let set_clock f = clock := f
 
+(* Wall-time source of the structured tracing layer (below), distinct
+   from [clock] so installing a wall clock for traces never changes
+   what the flat [span] aggregates measure. Same install-before-spawn
+   discipline. *)
+let trace_clock = ref Sys.time
+
 (* ------------------------------------------------------------------ *)
 (* Events and the bus                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -48,48 +54,110 @@ type bus = {
 
 type span_rec = { mutable sp_count : int; mutable sp_total : float }
 
+(* One record per Chrome-trace-shaped occurrence in the structured
+   trace buffer: 'B'/'E' bracket a tree span (parent/ids only on 'B'),
+   'i' is an instant, 'C' a counter sample. Timestamps are integer
+   microseconds so serialization is exact (no float formatting). *)
+type trace_event = {
+  te_ph : char;  (* 'B' | 'E' | 'i' | 'C' *)
+  te_id : int;  (* span id ('B' only; 0 otherwise) *)
+  te_parent : int;  (* enclosing span id, -1 at tree root ('B' only) *)
+  te_name : string;
+  te_cat : string;
+  te_track : int;  (* sink's track at emission time *)
+  te_ts : int;  (* microseconds *)
+  te_value : int;  (* counter value ('C' only) *)
+}
+
 type sink = {
   mutable sk_on : bool;
+  mutable sk_live : bool;
+      (* sk_on || sk_tr_on: the single branch [span]'s disabled fast
+         path tests, maintained by every switch flip *)
   mutable sk_step_sample : int;
       (* publish one aggregated simulator "step" event every this many
          cycles; 1 restores the one-event-per-cycle firehose *)
   sk_counters : (string, int ref) Hashtbl.t;
   sk_spans : (string, span_rec) Hashtbl.t;
   sk_bus : bus;
+  (* structured tracing state (the span-tree layer) *)
+  mutable sk_tr_on : bool;
+  mutable sk_tr_virtual : bool;  (* deterministic tick clock vs wall *)
+  mutable sk_tr_vnow : int;  (* virtual clock, advanced 1µs per read *)
+  mutable sk_tr_next_id : int;  (* ids are contiguous per sink *)
+  mutable sk_tr_stack : int list;  (* open span ids, innermost first *)
+  mutable sk_tr_track : int;
+  mutable sk_tr_cap : int;  (* soft event cap; see trace_begin *)
+  mutable sk_tr_dropped : int;
+  mutable sk_tr_suppressed : int;  (* open spans whose 'B' was dropped *)
+  mutable sk_tr_buf : trace_event array;
+  mutable sk_tr_len : int;
 }
 
 let default_bus_depth = 8192
 let default_step_sample = 32
+let default_trace_cap = 262144
 
 let make_bus depth =
   { b_data = Array.make depth None;
     b_head = 0; b_len = 0; b_published = 0; b_dropped = 0 }
 
+let dummy_trace_event =
+  { te_ph = 'E'; te_id = 0; te_parent = -1; te_name = ""; te_cat = "";
+    te_track = 0; te_ts = 0; te_value = 0 }
+
 let fresh_sink () =
   {
     sk_on = false;
+    sk_live = false;
     sk_step_sample = default_step_sample;
     sk_counters = Hashtbl.create 32;
     sk_spans = Hashtbl.create 16;
     sk_bus = make_bus default_bus_depth;
+    sk_tr_on = false;
+    sk_tr_virtual = false;
+    sk_tr_vnow = 0;
+    sk_tr_next_id = 0;
+    sk_tr_stack = [];
+    sk_tr_track = 0;
+    sk_tr_cap = default_trace_cap;
+    sk_tr_dropped = 0;
+    sk_tr_suppressed = 0;
+    sk_tr_buf = [||];
+    sk_tr_len = 0;
   }
 
-(* A spawned worker starts with the parent's switch position and
-   sampling rate but records into its own empty sink. *)
+(* A spawned worker starts with the parent's switch positions, sampling
+   rate, and trace configuration, but records into its own empty sink
+   (fresh buffer, ids from 0, track 0 until the pool assigns one) — so
+   worker spans land on the worker's own track and per-sink span ids
+   never collide inside one sink. *)
 let sink_key : sink Domain.DLS.key =
   Domain.DLS.new_key
     ~split_from_parent:(fun parent ->
       let s = fresh_sink () in
       s.sk_on <- parent.sk_on;
       s.sk_step_sample <- parent.sk_step_sample;
+      s.sk_tr_on <- parent.sk_tr_on;
+      s.sk_tr_virtual <- parent.sk_tr_virtual;
+      s.sk_tr_cap <- parent.sk_tr_cap;
+      s.sk_live <- s.sk_on || s.sk_tr_on;
       s)
     fresh_sink
 
 let sink () = Domain.DLS.get sink_key
 
 let enabled () = (sink ()).sk_on
-let enable () = (sink ()).sk_on <- true
-let disable () = (sink ()).sk_on <- false
+
+let enable () =
+  let sk = sink () in
+  sk.sk_on <- true;
+  sk.sk_live <- true
+
+let disable () =
+  let sk = sink () in
+  sk.sk_on <- false;
+  sk.sk_live <- sk.sk_tr_on
 
 let step_sample () = (sink ()).sk_step_sample
 let set_step_sample n = (sink ()).sk_step_sample <- max 1 n
@@ -217,26 +285,221 @@ module Histogram = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Structured tracing: the span tree                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Trace recording primitives. Each sink owns a flat buffer of
+   [trace_event]s appended in occurrence order, which makes every
+   captured slice a well-nested B/E stream by construction (spans close
+   LIFO under [Fun.protect]); parent/child structure rides on the span
+   ids pushed by the per-sink open-span stack.
+
+   The cap is soft: once the buffer holds [sk_tr_cap] events, new 'B',
+   'i', and 'C' events are dropped (and counted), but the 'E' of any
+   span whose 'B' was recorded is always appended so the stream stays
+   balanced — [sk_tr_suppressed] tracks how many open spans had their
+   'B' dropped so their 'E's are skipped symmetrically (correct because
+   spans close in LIFO order). *)
+
+let trace_now sk =
+  if sk.sk_tr_virtual then (
+    let t = sk.sk_tr_vnow in
+    sk.sk_tr_vnow <- t + 1;
+    t)
+  else int_of_float (!trace_clock () *. 1e6)
+
+let trace_push sk ev =
+  let cap = Array.length sk.sk_tr_buf in
+  if sk.sk_tr_len >= cap then (
+    let ncap = max 256 (min (max 1 (cap * 2)) (max sk.sk_tr_cap (sk.sk_tr_len + 64))) in
+    let nbuf = Array.make ncap dummy_trace_event in
+    Array.blit sk.sk_tr_buf 0 nbuf 0 sk.sk_tr_len;
+    sk.sk_tr_buf <- nbuf);
+  sk.sk_tr_buf.(sk.sk_tr_len) <- ev;
+  sk.sk_tr_len <- sk.sk_tr_len + 1
+
+let trace_begin sk name cat =
+  if sk.sk_tr_len >= sk.sk_tr_cap then (
+    sk.sk_tr_suppressed <- sk.sk_tr_suppressed + 1;
+    sk.sk_tr_dropped <- sk.sk_tr_dropped + 1)
+  else (
+    let id = sk.sk_tr_next_id in
+    sk.sk_tr_next_id <- id + 1;
+    let parent = match sk.sk_tr_stack with [] -> -1 | p :: _ -> p in
+    trace_push sk
+      { te_ph = 'B'; te_id = id; te_parent = parent; te_name = name;
+        te_cat = cat; te_track = sk.sk_tr_track; te_ts = trace_now sk;
+        te_value = 0 };
+    sk.sk_tr_stack <- id :: sk.sk_tr_stack)
+
+let trace_end sk =
+  if sk.sk_tr_suppressed > 0 then
+    sk.sk_tr_suppressed <- sk.sk_tr_suppressed - 1
+  else
+    match sk.sk_tr_stack with
+    | [] -> ()  (* unbalanced close: ignore rather than corrupt *)
+    | _ :: tl ->
+        sk.sk_tr_stack <- tl;
+        trace_push sk
+          { dummy_trace_event with
+            te_ph = 'E'; te_track = sk.sk_tr_track; te_ts = trace_now sk }
+
+module Trace = struct
+  type clock = Wall | Virtual
+
+  type event = trace_event = {
+    te_ph : char;
+    te_id : int;
+    te_parent : int;
+    te_name : string;
+    te_cat : string;
+    te_track : int;
+    te_ts : int;
+    te_value : int;
+  }
+
+  type segment = {
+    sg_track : int;  (* track the slice was recorded on *)
+    sg_start : int;  (* absolute µs of the slice origin *)
+    sg_events : event list;  (* ts rebased to sg_start, span ids to 0 *)
+  }
+
+  let empty_segment = { sg_track = 0; sg_start = 0; sg_events = [] }
+
+  let enabled () = (sink ()).sk_tr_on
+
+  let set_clock f = trace_clock := f
+
+  let enable ?(clock = Wall) ?cap () =
+    let sk = sink () in
+    sk.sk_tr_on <- true;
+    sk.sk_live <- true;
+    sk.sk_tr_virtual <- (clock = Virtual);
+    match cap with
+    | Some c -> sk.sk_tr_cap <- max 16 c
+    | None -> sk.sk_tr_cap <- default_trace_cap
+
+  let disable () =
+    let sk = sink () in
+    sk.sk_tr_on <- false;
+    sk.sk_live <- sk.sk_on
+
+  let track () = (sink ()).sk_tr_track
+  let set_track t = (sink ()).sk_tr_track <- t
+  let dropped () = (sink ()).sk_tr_dropped
+  let length () = (sink ()).sk_tr_len
+  let depth () = List.length (sink ()).sk_tr_stack
+
+  let with_span ?(cat = "task") name f =
+    let sk = sink () in
+    if not sk.sk_tr_on then f ()
+    else (
+      trace_begin sk name cat;
+      Fun.protect ~finally:(fun () -> trace_end sk) f)
+
+  let instant ?(cat = "mark") name =
+    let sk = sink () in
+    if sk.sk_tr_on && sk.sk_tr_len < sk.sk_tr_cap then
+      trace_push sk
+        { dummy_trace_event with
+          te_ph = 'i'; te_name = name; te_cat = cat;
+          te_track = sk.sk_tr_track; te_ts = trace_now sk }
+      else if sk.sk_tr_on then sk.sk_tr_dropped <- sk.sk_tr_dropped + 1
+
+  let counter name v =
+    let sk = sink () in
+    if sk.sk_tr_on && sk.sk_tr_len < sk.sk_tr_cap then
+      trace_push sk
+        { dummy_trace_event with
+          te_ph = 'C'; te_name = name; te_track = sk.sk_tr_track;
+          te_ts = trace_now sk; te_value = v }
+      else if sk.sk_tr_on then sk.sk_tr_dropped <- sk.sk_tr_dropped + 1
+
+  let mark () = (sink ()).sk_tr_len
+
+  (* Rebase a buffer slice into a self-contained segment: timestamps
+     become offsets from the slice's first event, span ids become
+     offsets from the smallest id opened inside the slice (per-sink ids
+     are contiguous, so a slice's ids are exactly [base..base+n)), and
+     a parent opened before the slice becomes -1 (a slice root). The
+     result is a pure value of what happened inside the slice — two
+     workers running the same job produce the same segment, which is
+     what makes virtual-clock traces independent of pool width. *)
+  let capture_since ?(consume = false) m =
+    let sk = sink () in
+    let m = max 0 (min m sk.sk_tr_len) in
+    let n = sk.sk_tr_len - m in
+    let seg =
+      if n = 0 then { empty_segment with sg_track = sk.sk_tr_track }
+      else (
+        let t0 = sk.sk_tr_buf.(m).te_ts in
+        let base = ref max_int in
+        for i = m to sk.sk_tr_len - 1 do
+          let e = sk.sk_tr_buf.(i) in
+          if e.te_ph = 'B' && e.te_id < !base then base := e.te_id
+        done;
+        let base = if !base = max_int then 0 else !base in
+        let events =
+          List.init n (fun k ->
+              let e = sk.sk_tr_buf.(m + k) in
+              let e = { e with te_ts = e.te_ts - t0 } in
+              if e.te_ph = 'B' then
+                { e with
+                  te_id = e.te_id - base;
+                  te_parent =
+                    (if e.te_parent >= base then e.te_parent - base else -1) }
+              else e)
+        in
+        { sg_track = sk.sk_tr_track; sg_start = t0; sg_events = events })
+    in
+    if consume then sk.sk_tr_len <- m;
+    seg
+
+  let capture_all ?consume () = capture_since ?consume 0
+
+  let reset () =
+    let sk = sink () in
+    sk.sk_tr_len <- 0;
+    sk.sk_tr_buf <- [||];
+    sk.sk_tr_stack <- [];
+    sk.sk_tr_next_id <- 0;
+    sk.sk_tr_vnow <- 0;
+    sk.sk_tr_dropped <- 0;
+    sk.sk_tr_suppressed <- 0
+end
+
+(* ------------------------------------------------------------------ *)
 (* Timing spans                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* One branch on [sk_live] keeps the fully-disabled path as cheap as it
+   was before tracing existed; the flat aggregate and the trace tree
+   each engage only behind their own switch. *)
 let span name f =
   let sk = sink () in
-  if not sk.sk_on then f ()
+  if not sk.sk_live then f ()
   else (
     let r =
-      match Hashtbl.find_opt sk.sk_spans name with
-      | Some r -> r
-      | None ->
-          let r = { sp_count = 0; sp_total = 0.0 } in
-          Hashtbl.replace sk.sk_spans name r;
-          r
+      if not sk.sk_on then None
+      else
+        match Hashtbl.find_opt sk.sk_spans name with
+        | Some r -> Some r
+        | None ->
+            let r = { sp_count = 0; sp_total = 0.0 } in
+            Hashtbl.replace sk.sk_spans name r;
+            Some r
     in
-    let t0 = !clock () in
+    let tracing = sk.sk_tr_on in
+    if tracing then trace_begin sk name "span";
+    let t0 = if r = None then 0.0 else !clock () in
     Fun.protect
       ~finally:(fun () ->
-        r.sp_count <- r.sp_count + 1;
-        r.sp_total <- r.sp_total +. (!clock () -. t0))
+        (match r with
+        | Some r ->
+            r.sp_count <- r.sp_count + 1;
+            r.sp_total <- r.sp_total +. (!clock () -. t0)
+        | None -> ());
+        if tracing then trace_end sk)
       f)
 
 let all_spans () =
@@ -372,4 +635,5 @@ let reset () =
   let sk = sink () in
   Hashtbl.reset sk.sk_counters;
   Hashtbl.reset sk.sk_spans;
-  Bus.clear sk.sk_bus
+  Bus.clear sk.sk_bus;
+  Trace.reset ()

@@ -99,8 +99,113 @@ end
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f], accumulating its duration and call count
     under [name] in the current domain's sink when telemetry is
-    enabled (exceptions still record). When disabled it is a tail call
-    to [f]. *)
+    enabled (exceptions still record). While structured tracing
+    ({!Trace}) is on, the same call also opens/closes a tree span named
+    [name] (category ["span"]) — one instrumentation point feeds both
+    the flat aggregate and the timeline. When both layers are off it is
+    a tail call to [f] behind a single branch. *)
+
+(** {1 Structured tracing}
+
+    The timeline-grade layer on top of the flat {!span} aggregates:
+    spans form a proper tree (parent/child via a per-domain open-span
+    stack, stable per-sink span ids), each domain records onto its own
+    {e track}, and the result serializes to Chrome Trace Event Format
+    via {!Trace_export}. Like everything else in this module the state
+    is per-domain: a spawned worker inherits the switch, clock mode,
+    and cap, but starts with an empty buffer, ids from 0, and track 0
+    (the pool assigns worker tracks), so merge-at-join is collision
+    free by construction. *)
+
+module Trace : sig
+  type clock =
+    | Wall  (** the injectable wall clock ({!set_clock}), µs precision *)
+    | Virtual
+        (** deterministic per-domain tick clock: each timestamp read
+            returns the previous value + 1µs. Same recording sequence ⇒
+            same timestamps, on any machine — the mode the trace
+            determinism tests and CI pin. *)
+
+  type event = {
+    te_ph : char;  (** 'B' | 'E' | 'i' | 'C' *)
+    te_id : int;  (** span id ('B' only) *)
+    te_parent : int;  (** parent span id, -1 at a tree root ('B' only) *)
+    te_name : string;
+    te_cat : string;
+    te_track : int;
+    te_ts : int;  (** microseconds *)
+    te_value : int;  (** counter value ('C' only) *)
+  }
+
+  type segment = {
+    sg_track : int;  (** track the slice was recorded on *)
+    sg_start : int;  (** absolute µs of the slice origin *)
+    sg_events : event list;
+        (** timestamps rebased to [sg_start], span ids rebased to 0,
+            parents opened before the slice mapped to -1 *)
+  }
+
+  val empty_segment : segment
+
+  val enable : ?clock:clock -> ?cap:int -> unit -> unit
+  (** Turn tracing on for the current domain (and, via sink
+      inheritance, any domain it spawns afterwards). [clock] defaults
+      to [Wall]; [cap] bounds the per-domain event buffer (default
+      262144). The cap is soft: over it, new events are dropped and
+      counted ({!dropped}) but every recorded span still closes, so
+      captures stay balanced. *)
+
+  val disable : unit -> unit
+  val enabled : unit -> bool
+
+  val set_clock : (unit -> float) -> unit
+  (** Wall-time source in seconds, default [Sys.time]; a harness that
+      wants real timelines installs [Unix.gettimeofday]. Distinct from
+      the flat-span clock ({!Telemetry.set_clock}). Shared by all
+      domains — install from the main domain before spawning. *)
+
+  val set_track : int -> unit
+  (** Track (Chrome-trace [tid]) new events record on. Track 0 is the
+      main domain by convention; the campaign pool gives worker [w]
+      track [w+1]. *)
+
+  val track : unit -> int
+
+  val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+  (** Open a tree span around [f] (closes on exception). No-op tail
+      call while tracing is off. *)
+
+  val instant : ?cat:string -> string -> unit
+  (** A zero-duration 'i' event at the current time. *)
+
+  val counter : string -> int -> unit
+  (** Sample a counter series ('C' event) at the current time. *)
+
+  val mark : unit -> int
+  (** Current buffer position, to bracket a {!capture_since}. *)
+
+  val capture_since : ?consume:bool -> int -> segment
+  (** Rebase the events recorded since a {!mark} into a self-contained
+      {!segment}: a pure value of what happened inside the slice,
+      identical no matter which worker ran it (the virtual-clock
+      determinism device). [consume] truncates the buffer back to the
+      mark so long pools don't accumulate. *)
+
+  val capture_all : ?consume:bool -> unit -> segment
+
+  val dropped : unit -> int
+  (** Events dropped over the cap in the current domain's sink. *)
+
+  val length : unit -> int
+  (** Events currently buffered. *)
+
+  val depth : unit -> int
+  (** Open spans on the current domain's stack. *)
+
+  val reset : unit -> unit
+  (** Clear buffer, stack, ids, virtual clock, and drop accounting.
+      Keeps the switch, clock mode, cap, and track. *)
+end
 
 (** {1 Event bus} *)
 
@@ -169,6 +274,6 @@ val merge : report -> report -> report
     accounting is summed, bus depth is the larger of the two. *)
 
 val reset : unit -> unit
-(** Zero the current domain's counters and spans and clear its bus.
-    Does not change the enabled flag, step sampling, the bus depth, or
-    the clock. *)
+(** Zero the current domain's counters and spans, clear its bus, and
+    {!Trace.reset} its trace buffer. Does not change the enabled
+    flags, step sampling, the bus depth, or the clocks. *)

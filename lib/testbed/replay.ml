@@ -9,6 +9,10 @@
 
 module Checkpoint = Fpga_sim.Checkpoint
 module Simulator = Fpga_sim.Simulator
+module Telemetry = Fpga_telemetry.Telemetry
+
+let probes_counter = Telemetry.Counter.make "replay.bisect_probes"
+let recorded_counter = Telemetry.Counter.make "replay.checkpoints_recorded"
 
 type recording = {
   rec_checkpoints : Checkpoint.t list;
@@ -16,10 +20,13 @@ type recording = {
 }
 
 let record ?kernel ?(every = 50) ?max_cycles (bug : Bug.t) : recording =
+  Telemetry.span "replay.record" @@ fun () ->
   let cps = ref [] in
   let report =
     Bug.run_design ?kernel ?max_cycles ~checkpoint_every:every
-      ~on_checkpoint:(fun c -> cps := c :: !cps)
+      ~on_checkpoint:(fun c ->
+        Telemetry.Counter.incr recorded_counter;
+        cps := c :: !cps)
       bug
       (Bug.design_of bug ~buggy:true)
   in
@@ -27,6 +34,7 @@ let record ?kernel ?(every = 50) ?max_cycles (bug : Bug.t) : recording =
 
 let replay ?kernel ?(vcd = true) ?window ~(from : Checkpoint.t) (bug : Bug.t) :
     Bug.report =
+  Telemetry.span "replay.replay" @@ fun () ->
   let max_cycles =
     match window with
     | Some w -> from.Checkpoint.ck_cycle + w
@@ -44,6 +52,7 @@ type bisect_result = {
 }
 
 let bisect ?kernel ?(every = 50) (bug : Bug.t) : bisect_result =
+  Telemetry.span "replay.bisect" @@ fun () ->
   let fixed = Bug.run_design ?kernel bug (Bug.design_of bug ~buggy:false) in
   let fixed_end = fixed.Bug.cycles in
   let fixed_done = bug.Bug.done_when <> None && not fixed.Bug.stuck in
@@ -66,6 +75,8 @@ let bisect ?kernel ?(every = 50) (bug : Bug.t) : bisect_result =
   let probes = ref 0 in
   let failed_ck (ck : Checkpoint.t) =
     incr probes;
+    Telemetry.Counter.incr probes_counter;
+    Telemetry.Trace.instant ~cat:"replay" "bisect.probe";
     let h = Bug.harness_of_meta ck.Checkpoint.ck_meta in
     failed ~cycle:ck.Checkpoint.ck_cycle ~rows:h.Bug.h_rows ~ext:h.Bug.h_ext
       ~satisfied:h.Bug.h_satisfied
@@ -95,10 +106,11 @@ let bisect ?kernel ?(every = 50) (bug : Bug.t) : bisect_result =
   else (
     (* coarse: binary-search the stream for the first failing snapshot *)
     let lo = ref 0 and hi = ref n in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if failed_ck cps.(mid) then hi := mid else lo := mid + 1
-    done;
+    Telemetry.span "replay.bisect.search" (fun () ->
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if failed_ck cps.(mid) then hi := mid else lo := mid + 1
+        done);
     let from = if !lo = 0 then None else Some cps.(!lo - 1) in
     let until = if !lo < n then cps.(!lo).Checkpoint.ck_cycle else horizon in
     (* fine: re-simulate from the last good snapshot, testing the
@@ -127,6 +139,7 @@ let bisect ?kernel ?(every = 50) (bug : Bug.t) : bisect_result =
     let replayed = ref 0 in
     let first = ref None in
     let c = ref (start + 1) in
+    Telemetry.span "replay.bisect.resim" @@ fun () ->
     while !first = None && !c <= until do
       (* advance the simulation through cycle [c-1] unless the run has
          already stopped (then only reference time advances) *)

@@ -14,4 +14,5 @@ let () =
       ("campaign", Test_campaign.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("fuzz", Test_fuzz.suite);
+      ("trace", Test_trace.suite);
     ]
