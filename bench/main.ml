@@ -14,9 +14,11 @@
    With [--json PATH] the harness instead runs the machine-readable
    micro-benchmark used by CI to track the perf trajectory across PRs:
    parse / elaborate / simulate throughput over several testbed designs
-   plus a synthetic low-activity design, for all three simulator
-   kernels, with a hard same-run gate demanding the lowered kernel
-   never lose to the brute-force sweep it replaces. *)
+   plus synthetic low-activity and sequential-heavy designs, for all
+   four simulator kernels, with hard same-run gates demanding the
+   lowered kernel never lose to the brute-force sweep it replaces and
+   the dirty lowered kernel never lose to the plain one (and beat the
+   event kernel on the idle design it was built for). *)
 
 module Report = Fpga_report.Report
 module Bug = Fpga_testbed.Bug
@@ -63,6 +65,30 @@ let idle_design_src stages =
   Buffer.add_string buf "  end\nendmodule\n";
   Buffer.contents buf
 
+(* A register ring with essentially no combinational plan: one always
+   block rewrites all [regs] registers every cycle, so the run is pure
+   sequential-edge work through the flat NBA commit buffer. The dirty
+   lowered kernel has nothing to skip here — the design exists to prove
+   the dirty machinery costs nothing when it cannot help. *)
+let seq_design_src regs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "module seqheavy (input clk, input [7:0] d, output [7:0] q);\n";
+  for i = 1 to regs do
+    Buffer.add_string buf (Printf.sprintf "  reg [7:0] r%d;\n" i)
+  done;
+  Buffer.add_string buf (Printf.sprintf "  assign q = r%d;\n" regs);
+  Buffer.add_string buf "  always @(posedge clk) begin\n";
+  Buffer.add_string buf (Printf.sprintf "    r1 <= r%d + d;\n" regs);
+  for i = 2 to regs do
+    Buffer.add_string buf
+      (if i mod 2 = 0 then
+         Printf.sprintf "    r%d <= r%d ^ 8'd%d;\n" i (i - 1) (i land 0xFF)
+       else Printf.sprintf "    r%d <= r%d + 8'd%d;\n" i (i - 1) (i land 0xFF))
+  done;
+  Buffer.add_string buf "  end\nendmodule\n";
+  Buffer.contents buf
+
 let bench_designs () =
   let of_bug id =
     let bug = Option.get (Registry.find id) in
@@ -83,6 +109,12 @@ let bench_designs () =
       bd_src = idle_design_src 64;
       bd_stim = Fpga_sim.Testbench.const_stimulus [ ("d", Bits.of_int ~width:8 42) ];
     };
+    {
+      bd_id = "SEQ64";
+      bd_top = "seqheavy";
+      bd_src = seq_design_src 64;
+      bd_stim = Fpga_sim.Testbench.const_stimulus [ ("d", Bits.of_int ~width:8 7) ];
+    };
   ]
 
 (* Run [f] repeatedly until [min_elapsed] wall seconds accumulate and
@@ -98,9 +130,9 @@ let runs_per_sec ?(min_elapsed = 0.2) f =
 
 (* Simulated cycles per wall second: repeatedly build a simulator and
    drive it with the design's stimulus, timing only the stepping loop. *)
-let sim_cycles_per_sec ~kernel flat stim =
+let sim_cycles_per_sec ?(min_elapsed = 0.3) ~kernel flat stim =
   let total_cycles = ref 0 and elapsed = ref 0.0 in
-  while !elapsed < 0.3 do
+  while !elapsed < min_elapsed do
     let sim = Simulator.create ~kernel flat in
     let t0 = Unix.gettimeofday () in
     let n = ref 0 in
@@ -113,6 +145,29 @@ let sim_cycles_per_sec ~kernel flat stim =
     total_cycles := !total_cycles + !n
   done;
   float_of_int !total_cycles /. !elapsed
+
+(* Noise-immune throughput ceiling: the fastest single 2000-cycle batch
+   observed across [min_elapsed] of measurement. Interference on a
+   shared host only ever inflates a batch's wall time, never deflates
+   it, so the fastest batch converges on the unloaded machine's speed —
+   the right estimator for same-run kernel-vs-kernel ratio gates, where
+   aggregate windows flap by tens of percent. *)
+let sim_best_batch_cps ?(min_elapsed = 0.3) ~kernel flat stim =
+  let best = ref 0.0 and elapsed = ref 0.0 in
+  while !elapsed < min_elapsed do
+    let sim = Simulator.create ~kernel flat in
+    let t0 = Unix.gettimeofday () in
+    let n = ref 0 in
+    while !n < 2000 && not (Simulator.finished sim) do
+      List.iter (fun (nm, v) -> Simulator.set_input sim nm v) (stim !n);
+      Simulator.step sim;
+      incr n
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    elapsed := !elapsed +. dt;
+    if dt > 0.0 then best := Float.max !best (float_of_int !n /. dt)
+  done;
+  !best
 
 (* Word-level Bits micro-benchmarks: the hot ops the limb-wise rewrite
    targets, at widths straddling the 32-bit limb boundary. *)
@@ -184,11 +239,30 @@ type bench_result = {
   br_event_cps : float;
   br_brute_cps : float;
   br_lowered_cps : float;
+  br_ldirty_cps : float;
+  br_dirty_ratio : float;  (* dirty/lowered best-batch throughput ratio *)
+  br_auto_kernel : string;  (* kernel [Simulator.create] picks unforced *)
 }
 
 let bench_one (d : bench_design) =
   let design = Fpga_hdl.Parser.parse_design d.bd_src in
   let flat = Fpga_sim.Elaborate.elaborate design ~top:d.bd_top in
+  (* The lowered pair feeds a hard same-run gate, so both sides use the
+     best-batch ceiling estimator, with the two kernels' measurement
+     windows interleaved so any long-lived host slowdown lands on both
+     sides of the ratio equally. *)
+  let lowered_cps = ref 0.0 and ldirty_cps = ref 0.0 in
+  for _ = 1 to 3 do
+    lowered_cps :=
+      Float.max !lowered_cps
+        (sim_best_batch_cps ~min_elapsed:0.15 ~kernel:Simulator.Lowered flat
+           d.bd_stim);
+    ldirty_cps :=
+      Float.max !ldirty_cps
+        (sim_best_batch_cps ~min_elapsed:0.15
+           ~kernel:Simulator.Lowered_dirty flat d.bd_stim)
+  done;
+  let dirty_ratio = !ldirty_cps /. !lowered_cps in
   {
     br_id = d.bd_id;
     br_top = d.bd_top;
@@ -201,9 +275,22 @@ let bench_one (d : bench_design) =
       sim_cycles_per_sec ~kernel:Simulator.Event_driven flat d.bd_stim;
     br_brute_cps =
       sim_cycles_per_sec ~kernel:Simulator.Brute_force flat d.bd_stim;
-    br_lowered_cps =
-      sim_cycles_per_sec ~kernel:Simulator.Lowered flat d.bd_stim;
+    br_lowered_cps = !lowered_cps;
+    br_ldirty_cps = !ldirty_cps;
+    br_dirty_ratio = dirty_ratio;
+    br_auto_kernel = Simulator.kernel_name (Simulator.kernel (Simulator.create flat));
   }
+
+(* Throughput of whichever kernel auto-selection actually picked for
+   this design: the honest numerator for the headline "speedup" column
+   (previous schemas quietly reported event-vs-brute even when the
+   simulator would have run a lowered kernel). *)
+let auto_cps r =
+  match r.br_auto_kernel with
+  | "event" -> r.br_event_cps
+  | "brute" -> r.br_brute_cps
+  | "lowered" -> r.br_lowered_cps
+  | _ -> r.br_ldirty_cps
 
 (* Lowering-pass statics per bench design: how long one lowered
    construction takes and what the closure compiler emitted. The counts
@@ -217,6 +304,8 @@ type lowering_bench = {
   lo_fused : int;
   lo_imm : int;
   lo_boxed : int;
+  lo_seq : int;
+  lo_dirty : bool;
 }
 
 let lowering_bench_one (d : bench_design) =
@@ -224,9 +313,9 @@ let lowering_bench_one (d : bench_design) =
   let flat = Fpga_sim.Elaborate.elaborate design ~top:d.bd_top in
   let creates_per_sec =
     runs_per_sec (fun () ->
-        ignore (Simulator.create ~kernel:Simulator.Lowered flat))
+        ignore (Simulator.create ~kernel:Simulator.Lowered_dirty flat))
   in
-  let sim = Simulator.create ~kernel:Simulator.Lowered flat in
+  let sim = Simulator.create ~kernel:Simulator.Lowered_dirty flat in
   let st = Option.get (Simulator.lowering_stats sim) in
   {
     lo_design = d.bd_id;
@@ -236,6 +325,8 @@ let lowering_bench_one (d : bench_design) =
     lo_fused = st.Fpga_sim.Lowered.lw_fused;
     lo_imm = st.Fpga_sim.Lowered.lw_imm;
     lo_boxed = st.Fpga_sim.Lowered.lw_boxed;
+    lo_seq = st.Fpga_sim.Lowered.lw_seq;
+    lo_dirty = st.Fpga_sim.Lowered.lw_dirty;
   }
 
 (* Kernel-telemetry readout: one instrumented 2000-cycle run per bench
@@ -378,8 +469,10 @@ let campaign_benches () =
 
 let json_of_results results lowerings bits lookup telem overheads campaigns =
   let buf = Buffer.create 2048 in
-  Buffer.add_string buf "{\n  \"schema\": \"fpga-debug-bench/6\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"fpga-debug-bench/7\",\n";
   Buffer.add_string buf "  \"designs\": [\n";
+  (* "speedup" is auto-kernel throughput over brute — what a user who
+     never passes --kernel actually gets, not the event kernel's ratio *)
   List.iteri
     (fun i r ->
       Buffer.add_string buf
@@ -387,10 +480,13 @@ let json_of_results results lowerings bits lookup telem overheads campaigns =
            "    {\"id\": %S, \"top\": %S, \"parse_per_sec\": %.1f, \
             \"elaborate_per_sec\": %.1f, \"sim_cycles_per_sec_event\": \
             %.1f, \"sim_cycles_per_sec_brute\": %.1f, \
-            \"sim_cycles_per_sec_lowered\": %.1f, \"speedup\": %.2f}%s\n"
+            \"sim_cycles_per_sec_lowered\": %.1f, \
+            \"sim_cycles_per_sec_lowered_dirty\": %.1f, \
+            \"auto_kernel\": %S, \"speedup\": %.2f}%s\n"
            r.br_id r.br_top r.br_parse_per_sec r.br_elaborate_per_sec
-           r.br_event_cps r.br_brute_cps r.br_lowered_cps
-           (r.br_event_cps /. r.br_brute_cps)
+           r.br_event_cps r.br_brute_cps r.br_lowered_cps r.br_ldirty_cps
+           r.br_auto_kernel
+           (auto_cps r /. r.br_brute_cps)
            (if i = List.length results - 1 then "" else ",")))
     results;
   (* per-kernel throughput side by side, keyed on "design" so the
@@ -402,11 +498,17 @@ let json_of_results results lowerings bits lookup telem overheads campaigns =
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"design\": %S, \"event_cps\": %.1f, \"brute_cps\": %.1f, \
-            \"lowered_cps\": %.1f, \"event_speedup_vs_brute\": %.2f, \
-            \"lowered_speedup_vs_brute\": %.2f}%s\n"
+            \"lowered_cps\": %.1f, \"lowered_dirty_cps\": %.1f, \
+            \"auto_kernel\": %S, \"event_speedup_vs_brute\": %.2f, \
+            \"lowered_speedup_vs_brute\": %.2f, \
+            \"lowered_dirty_speedup_vs_brute\": %.2f, \
+            \"dirty_vs_lowered_ratio\": %.3f}%s\n"
            r.br_id r.br_event_cps r.br_brute_cps r.br_lowered_cps
+           r.br_ldirty_cps r.br_auto_kernel
            (r.br_event_cps /. r.br_brute_cps)
            (r.br_lowered_cps /. r.br_brute_cps)
+           (r.br_ldirty_cps /. r.br_brute_cps)
+           r.br_dirty_ratio
            (if i = List.length results - 1 then "" else ",")))
     results;
   Buffer.add_string buf "  ],\n  \"lowering\": [\n";
@@ -416,9 +518,9 @@ let json_of_results results lowerings bits lookup telem overheads campaigns =
         (Printf.sprintf
            "    {\"design\": %S, \"compile_ms\": %.3f, \"nodes\": %d, \
             \"closures\": %d, \"fused\": %d, \"imm_signals\": %d, \
-            \"boxed_signals\": %d}%s\n"
+            \"boxed_signals\": %d, \"seq_blocks\": %d, \"dirty\": %b}%s\n"
            l.lo_design l.lo_compile_ms l.lo_nodes l.lo_closures l.lo_fused
-           l.lo_imm l.lo_boxed
+           l.lo_imm l.lo_boxed l.lo_seq l.lo_dirty
            (if i = List.length lowerings - 1 then "" else ",")))
     lowerings;
   Buffer.add_string buf "  ],\n  \"bits_ops\": [\n";
@@ -536,6 +638,12 @@ let labelled_metrics_of_file path =
        | Some id, Some v -> entries := (id ^ "@lowered", v) :: !entries
        | _ -> ());
        (match
+          ( field_string line "id",
+            field_float line "sim_cycles_per_sec_lowered_dirty" )
+        with
+       | Some id, Some v -> entries := (id ^ "@lowered-dirty", v) :: !entries
+       | _ -> ());
+       (match
           (field_string line "op", field_float line "width", field_float line "ops_per_sec")
         with
        | Some op, Some w, Some v ->
@@ -602,6 +710,48 @@ let lowered_gate results =
       (List.length results);
   slower = []
 
+(* The dirty variant must be a pure win over the plain lowered kernel.
+   On designs where it cannot help (SEQ64's single closure runs every
+   settle) the two kernels do identical work and the comparison is all
+   timer noise, so the gate compares the two kernels' best-batch
+   ceilings (see [sim_best_batch_cps]) with a small tolerance for the
+   residual jitter. The IDLE64 event-kernel bar is strict — that is
+   the design the dirty worklist exists for, and its expected margin
+   is large. *)
+let dirty_tolerance = 0.95
+
+let dirty_gate results =
+  let slower =
+    List.filter (fun r -> r.br_dirty_ratio < dirty_tolerance) results
+  in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "KERNEL GATE FAILURE: %s slower under lowered-dirty than plain \
+         lowered (window ratio %.3f, tolerance %.2f)\n"
+        r.br_id r.br_dirty_ratio dirty_tolerance)
+    slower;
+  let idle_ok =
+    List.for_all
+      (fun r -> r.br_id <> "IDLE64" || r.br_ldirty_cps >= r.br_event_cps)
+      results
+  in
+  if not idle_ok then
+    List.iter
+      (fun r ->
+        if r.br_id = "IDLE64" then
+          Printf.printf
+            "KERNEL GATE FAILURE: IDLE64 slower under lowered-dirty than \
+             event-driven (%.1f vs %.1f cycles/s)\n"
+            r.br_ldirty_cps r.br_event_cps)
+      results;
+  if slower = [] && idle_ok then
+    Printf.printf
+      "kernel gate: lowered-dirty >= lowered on all %d designs, >= event \
+       on IDLE64\n"
+      (List.length results);
+  slower = [] && idle_ok
+
 let run_json_bench path baseline =
   let results = List.map bench_one (bench_designs ()) in
   let lowerings = List.map lowering_bench_one (bench_designs ()) in
@@ -616,25 +766,26 @@ let run_json_bench path baseline =
   let oc = open_out path in
   output_string oc json;
   close_out oc;
-  Printf.printf "%-8s %-12s %12s %12s %14s %14s %14s %8s %8s\n" "design" "top"
-    "parse/s" "elab/s" "event cyc/s" "brute cyc/s" "lowered cyc/s" "ev/bf"
-    "lo/bf";
+  Printf.printf "%-8s %-10s %12s %14s %14s %14s %14s %8s %8s %-13s\n" "design"
+    "top" "parse/s" "event cyc/s" "brute cyc/s" "lowered cyc/s"
+    "ldirty cyc/s" "lo/bf" "ld/bf" "auto";
   List.iter
     (fun r ->
       Printf.printf
-        "%-8s %-12s %12.1f %12.1f %14.1f %14.1f %14.1f %7.2fx %7.2fx\n"
-        r.br_id r.br_top r.br_parse_per_sec r.br_elaborate_per_sec
-        r.br_event_cps r.br_brute_cps r.br_lowered_cps
-        (r.br_event_cps /. r.br_brute_cps)
-        (r.br_lowered_cps /. r.br_brute_cps))
+        "%-8s %-10s %12.1f %14.1f %14.1f %14.1f %14.1f %7.2fx %7.2fx %-13s\n"
+        r.br_id r.br_top r.br_parse_per_sec r.br_event_cps r.br_brute_cps
+        r.br_lowered_cps r.br_ldirty_cps
+        (r.br_lowered_cps /. r.br_brute_cps)
+        (r.br_ldirty_cps /. r.br_brute_cps)
+        r.br_auto_kernel)
     results;
-  Printf.printf "\n%-8s %12s %8s %10s %8s %8s %8s\n" "design" "compile ms"
-    "nodes" "closures" "fused" "imm" "boxed";
+  Printf.printf "\n%-8s %12s %8s %10s %8s %8s %8s %8s %6s\n" "design"
+    "compile ms" "nodes" "closures" "fused" "imm" "boxed" "seq" "dirty";
   List.iter
     (fun l ->
-      Printf.printf "%-8s %12.3f %8d %10d %8d %8d %8d\n" l.lo_design
+      Printf.printf "%-8s %12.3f %8d %10d %8d %8d %8d %8d %6b\n" l.lo_design
         l.lo_compile_ms l.lo_nodes l.lo_closures l.lo_fused l.lo_imm
-        l.lo_boxed)
+        l.lo_boxed l.lo_seq l.lo_dirty)
     lowerings;
   Printf.printf "\n%-14s %8s %16s\n" "bits op" "width" "ops/s";
   List.iter
@@ -678,12 +829,17 @@ let run_json_bench path baseline =
         List.map (fun r -> (r.br_id, r.br_event_cps)) results
         @ List.map (fun r -> (r.br_id ^ "@lowered", r.br_lowered_cps)) results
         @ List.map
+            (fun r -> (r.br_id ^ "@lowered-dirty", r.br_ldirty_cps))
+            results
+        @ List.map
             (fun b -> (Printf.sprintf "%s@%d" b.bb_op b.bb_width, b.bb_ops_per_sec))
             bits
         @ [ ("signal_lookup_array", lookup.lb_array_per_sec) ]
       in
       compare_to_baseline ~current ~baseline_path);
-  if not (lowered_gate results) then exit 1
+  let gate_ok = lowered_gate results in
+  let dirty_ok = dirty_gate results in
+  if not (gate_ok && dirty_ok) then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)

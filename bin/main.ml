@@ -90,11 +90,12 @@ let kernel_arg =
        & opt (enum [ ("auto", None);
                      ("event", Some Fpga_sim.Simulator.Event_driven);
                      ("brute", Some Fpga_sim.Simulator.Brute_force);
-                     ("lowered", Some Fpga_sim.Simulator.Lowered) ])
+                     ("lowered", Some Fpga_sim.Simulator.Lowered);
+                     ("lowered-dirty", Some Fpga_sim.Simulator.Lowered_dirty) ])
            None
        & info [ "kernel" ] ~docv:"KERNEL"
-           ~doc:"Settle kernel: auto|event|brute|lowered (auto selects \
-                 from the compiled plan's shape)")
+           ~doc:"Settle kernel: auto|event|brute|lowered|lowered-dirty \
+                 (auto selects from the compiled plan's shape)")
 
 (* --- list ----------------------------------------------------------- *)
 

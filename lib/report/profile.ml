@@ -5,6 +5,13 @@ module Bug = Fpga_testbed.Bug
 module Simulator = Fpga_sim.Simulator
 module Telemetry = Fpga_telemetry.Telemetry
 
+(* Lowered-kernel profile: static lowering shape + runtime skip/commit
+   behaviour, present only when the run used a lowered variant. *)
+type lowered_profile = {
+  lp_stats : Fpga_sim.Lowered.stats;
+  lp_runs : Fpga_sim.Lowered.run_stats;
+}
+
 type t = {
   p_bug_id : string;
   p_top : string;
@@ -14,6 +21,7 @@ type t = {
   p_finished : bool;
   p_stats : Simulator.stats;
   p_efficiency : float;
+  p_lowered : lowered_profile option;
   p_hottest : (string * int) list;
   p_spans : (string * int * float) list;
   p_counters : (string * int) list;
@@ -78,6 +86,10 @@ let run ?kernel ?(cycles = 200) ?(buffer = 8192) ?(top_k = 10) (bug : Bug.t) :
     p_finished = Simulator.finished sim;
     p_stats = stats;
     p_efficiency = Option.value (Simulator.kernel_efficiency sim) ~default:1.0;
+    p_lowered =
+      (match (Simulator.lowering_stats sim, Simulator.lowered_run_stats sim) with
+      | Some lp_stats, Some lp_runs -> Some { lp_stats; lp_runs }
+      | _ -> None);
     p_hottest = Simulator.hottest_signals ~k:top_k sim;
     p_spans = report.Telemetry.r_spans;
     p_counters = report.Telemetry.r_counters;
@@ -96,7 +108,7 @@ let to_json (p : t) : string =
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let st = p.p_stats in
   let hist = st.Simulator.st_settle_hist in
-  add "{\n  \"schema\": \"fpga-debug-profile/1\",\n";
+  add "{\n  \"schema\": \"fpga-debug-profile/2\",\n";
   add "  \"bug\": %S, \"top\": %S, \"kernel\": %S,\n" p.p_bug_id p.p_top
     p.p_kernel;
   add "  \"cycles_requested\": %d, \"cycles_run\": %d, \"finished\": %b,\n"
@@ -123,6 +135,35 @@ let to_json (p : t) : string =
     st.Simulator.st_nba_commits st.Simulator.st_prim_steps
     st.Simulator.st_displays;
   add "  },\n";
+  (* schema /2: per-kernel efficiency of the lowered variants — closure
+     skip rate and commit-buffer occupancy; absent for event/brute *)
+  (match p.p_lowered with
+  | None -> ()
+  | Some { lp_stats = lw; lp_runs = r } ->
+      let module L = Fpga_sim.Lowered in
+      let skip_rate =
+        let total = r.L.rs_closures_run + r.L.rs_closures_skipped in
+        if total = 0 then 0.0
+        else float_of_int r.L.rs_closures_skipped /. float_of_int total
+      in
+      let commit_per_edge =
+        if r.L.rs_edges = 0 then 0.0
+        else
+          float_of_int (r.L.rs_commit_imm + r.L.rs_commit_boxed)
+          /. float_of_int r.L.rs_edges
+      in
+      add "  \"lowered\": {\n";
+      add "    \"dirty\": %b, \"closures\": %d, \"fused\": %d,\n" lw.L.lw_dirty
+        lw.L.lw_closures lw.L.lw_fused;
+      add "    \"imm_signals\": %d, \"boxed_signals\": %d, \"seq_blocks\": %d,\n"
+        lw.L.lw_imm lw.L.lw_boxed lw.L.lw_seq;
+      add "    \"settles\": %d, \"closures_run\": %d, \"closures_skipped\": %d,\n"
+        r.L.rs_settles r.L.rs_closures_run r.L.rs_closures_skipped;
+      add "    \"skip_rate\": %.4f,\n" skip_rate;
+      add "    \"edge_runs\": %d, \"commit_imm\": %d, \"commit_boxed\": %d,\n"
+        r.L.rs_edges r.L.rs_commit_imm r.L.rs_commit_boxed;
+      add "    \"commit_per_edge\": %.2f\n" commit_per_edge;
+      add "  },\n");
   add
     "  \"settle_rounds\": {\"count\": %d, \"min\": %d, \"max\": %d, \
      \"mean\": %.2f},\n"
@@ -188,6 +229,27 @@ let print (p : t) =
       (float_of_int hist.Telemetry.Histogram.hs_sum
       /. float_of_int hist.Telemetry.Histogram.hs_count)
       hist.Telemetry.Histogram.hs_max;
+  (match p.p_lowered with
+  | None -> ()
+  | Some { lp_stats = lw; lp_runs = r } ->
+      let module L = Fpga_sim.Lowered in
+      Printf.printf "\nlowered kernel%s:\n"
+        (if lw.L.lw_dirty then " (dirty-set)" else "");
+      Printf.printf "  plan closures      %8d  (%d fused)\n" lw.L.lw_closures
+        lw.L.lw_fused;
+      Printf.printf "  seq blocks         %8d\n" lw.L.lw_seq;
+      Printf.printf "  closures run       %8d\n" r.L.rs_closures_run;
+      Printf.printf "  closures skipped   %8d\n" r.L.rs_closures_skipped;
+      let total = r.L.rs_closures_run + r.L.rs_closures_skipped in
+      if total > 0 then
+        Printf.printf "  skip rate          %8.1f%%\n"
+          (100.0 *. float_of_int r.L.rs_closures_skipped /. float_of_int total);
+      Printf.printf "  commits (imm/box)  %8d / %d\n" r.L.rs_commit_imm
+        r.L.rs_commit_boxed;
+      if r.L.rs_edges > 0 then
+        Printf.printf "  commits per edge   %8.2f\n"
+          (float_of_int (r.L.rs_commit_imm + r.L.rs_commit_boxed)
+          /. float_of_int r.L.rs_edges));
   (match p.p_hottest with
   | [] -> ()
   | hottest ->

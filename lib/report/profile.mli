@@ -5,17 +5,27 @@
     of reading the paper's Statistics-Monitor counters and recording-IP
     occupancy back from the FPGA after a run. *)
 
+(** Lowered-kernel profile: static lowering shape plus runtime
+    skip/commit counters; present only when the run used a lowered
+    variant. *)
+type lowered_profile = {
+  lp_stats : Fpga_sim.Lowered.stats;
+  lp_runs : Fpga_sim.Lowered.run_stats;
+}
+
 type t = {
   p_bug_id : string;
   p_top : string;
-  p_kernel : string;  (** ["event"], ["brute"], or ["lowered"] *)
+  p_kernel : string;
+      (** ["event"], ["brute"], ["lowered"], or ["lowered-dirty"] *)
   p_cycles_requested : int;
   p_cycles_run : int;
   p_finished : bool;
   p_stats : Fpga_sim.Simulator.stats;
   p_efficiency : float;
-      (** nodes evaluated / node rounds — 1.0 means the event-driven
-          kernel skipped nothing (or the brute-force kernel ran) *)
+      (** evaluated / rounds — 1.0 means nothing was skipped (for
+          lowered kernels both counts are in fused closures) *)
+  p_lowered : lowered_profile option;
   p_hottest : (string * int) list;  (** top-K signals by toggle count *)
   p_spans : (string * int * float) list;  (** (phase, calls, seconds) *)
   p_counters : (string * int) list;
@@ -41,7 +51,10 @@ val run :
     kernel selection; [p_kernel] records the kernel actually used. *)
 
 val to_json : t -> string
-(** Schema ["fpga-debug-profile/1"], stable for CI consumption. *)
+(** Schema ["fpga-debug-profile/2"], stable for CI consumption. All
+    schema-1 fields are retained; schema 2 adds the ["lowered"] object
+    (closure skip rates, commit-buffer occupancy) when the run used a
+    lowered kernel. *)
 
 val print : t -> unit
 (** Human-readable tables on stdout. *)

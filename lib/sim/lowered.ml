@@ -38,6 +38,20 @@ type stats = {
   lw_fused : int;  (* nodes folded into a predecessor *)
   lw_imm : int;  (* signals in the immediate int bank *)
   lw_boxed : int;  (* signals kept in limb form (wide vecs + mems) *)
+  lw_seq : int;  (* sequential always-blocks lowered to closures *)
+  lw_dirty : bool;  (* dirty-set (worklist) scheduling enabled *)
+}
+
+(* Run counters, maintained unconditionally (a handful of int stores
+   per settle/commit, never per node): the skip-rate and commit-buffer
+   numbers profile and trace report for the lowered kernels. *)
+type run_stats = {
+  mutable rs_settles : int;
+  mutable rs_closures_run : int;
+  mutable rs_closures_skipped : int;  (* skipped by dirty scheduling *)
+  mutable rs_edges : int;  (* sequential block invocations *)
+  mutable rs_commit_imm : int;  (* flat-buffer (unboxed) NBA commits *)
+  mutable rs_commit_boxed : int;  (* boxed NBA commits, drops included *)
 }
 
 (* A deferred non-blocking write. Immediate targets defer as masked int
@@ -48,19 +62,46 @@ type pend =
   | Pmask of int * int * int  (* id, insert mask, pre-shifted pattern *)
   | Pboxed of Compiled.cwrite
 
+(* Dirty-set execution mode, mirroring the event kernel's adaptive
+   machinery: [Lsparse] walks only dirty closures, [Ldense] is the
+   plain full sweep (no flag traffic) while nearly every closure fires
+   anyway, with change counting to detect when activity drops. *)
+type lmode = Lsparse | Ldense
+
 type t = {
   env : Compiled.env;  (* boxed bank: wide vecs + all memories *)
   ints : int array;  (* immediate bank, indexed by signal id *)
   imm : bool array;  (* which ids live in the immediate bank *)
   widths : int array;
   finished : bool ref;  (* shared with the simulator's $finish flag *)
-  mutable notify : int -> unit;
-  mutable pending : pend list;  (* reversed, as in [exec_ctx.pending] *)
+  dirty_on : bool;  (* Lowered_dirty: closure-level worklist scheduling *)
+  mutable notify : int -> unit;  (* composed: dirty marking + external *)
+  mutable ext_notify : int -> unit;  (* simulator's callback (toggles) *)
+  (* flat NBA commit buffer: (id, insert mask, pre-shifted pattern)
+     int triples for immediate targets — no allocation per deferred
+     write; boxed/memory/dropped writes overflow into [pboxed] *)
+  mutable pb : int array;
+  mutable pb_len : int;  (* ints used (always a multiple of 3) *)
+  mutable pboxed : Compiled.cwrite list;  (* reversed *)
   mutable displays : bool;  (* comb $display gate for this settle *)
   mutable emit : string -> unit;
   mutable plan : (unit -> unit) array;  (* fused comb closures, topo order *)
-  mutable seqs : (Elaborate.clock_edge * (unit -> unit)) list;
+  mutable seq_pos : (unit -> unit) array;  (* posedge blocks, source order *)
+  mutable seq_neg : (unit -> unit) array;  (* negedge blocks, source order *)
+  (* dirty-set state (allocated only when [dirty_on]) *)
+  mutable csens : int list array;  (* signal id -> reading closure indices *)
+  mutable cdirty : bool array;  (* per-closure pending flag *)
+  mutable ncdirty : int;
+  mutable disp_closures : int list;  (* closures containing $display *)
+  mutable lmode : lmode;
+  mutable lmode_streak : int;  (* consecutive settles meeting the test *)
+  mutable lchanges : int;  (* value changes during a dense sweep *)
+  (* change-counting notify installed only for the duration of a dense
+     sweep; outside sweeps dense mode uses the bare external notify so
+     sequential commits pay nothing for the mode machinery *)
+  mutable dense_mark : int -> unit;
   mutable stats : stats;
+  runs : run_stats;
 }
 
 (* Comb node in compiled form, as handed over by [Simulator.create]. *)
@@ -402,7 +443,33 @@ let apply_pend st = function
   | Pmask (i, m, p) -> store_imm st i (st.ints.(i) land lnot m lor p)
   | Pboxed w -> Compiled.apply_write_notify st.env ~notify:st.notify w
 
-let push_pend st p = st.pending <- p :: st.pending
+(* Defer an immediate-bank write into the flat triple buffer. A full
+   write is a mask of all ones ([lnot (-1) = 0]), so commit needs no
+   full/partial distinction. Growth doubles, so steady state never
+   allocates. *)
+let push_flat st i m p =
+  let len = st.pb_len in
+  if len + 3 > Array.length st.pb then begin
+    let nb = Array.make (max 48 (2 * Array.length st.pb)) 0 in
+    Array.blit st.pb 0 nb 0 len;
+    st.pb <- nb
+  end;
+  let b = st.pb in
+  b.(len) <- i;
+  b.(len + 1) <- m;
+  b.(len + 2) <- p;
+  st.pb_len <- len + 3
+
+let push_boxed st w = st.pboxed <- w :: st.pboxed
+
+(* Each signal is statically either immediate or boxed, so same-signal
+   deferred writes always land in the same buffer and flat-then-boxed
+   application preserves last-write-wins per signal; cross-signal
+   interleavings are unobservable (NBA reads happen before any commit). *)
+let push_pend st = function
+  | Pimm (i, v) -> push_flat st i (-1) v
+  | Pmask (i, m, p) -> push_flat st i m p
+  | Pboxed w -> push_boxed st w
 
 (* Flatten nested concat lvalues to leaves with absolute MSB-first bit
    positions; widths are static, so nesting resolves at compile time.
@@ -502,11 +569,11 @@ let compile_store st (lv : Compiled.clvalue) (v : ex) ~nba : unit -> unit =
   | Compiled.CLvar (i, w) ->
       if st.imm.(i) then (
         let f = int_fn (resize_ex w v) in
-        if nba then fun () -> push_pend st (Pimm (i, f ()))
+        if nba then fun () -> push_flat st i (-1) (f ())
         else fun () -> store_imm st i (f ()))
       else
         let f = bits_fn (resize_ex w v) in
-        if nba then fun () -> push_pend st (Pboxed (Compiled.CWfull (i, f ())))
+        if nba then fun () -> push_boxed st (Compiled.CWfull (i, f ()))
         else
           fun () ->
             Compiled.apply_write_notify st.env ~notify:st.notify
@@ -523,9 +590,8 @@ let compile_store st (lv : Compiled.clvalue) (v : ex) ~nba : unit -> unit =
         if nba then
           fun () ->
             let k = resolve ~size:w ~pow2 (idxf ()) in
-            push_pend st
-              (if k < 0 then Pboxed Compiled.CWdropped
-               else Pmask (i, 1 lsl k, if fb () then 1 lsl k else 0))
+            if k < 0 then push_boxed st Compiled.CWdropped
+            else push_flat st i (1 lsl k) (if fb () then 1 lsl k else 0)
         else
           fun () ->
             let k = resolve ~size:w ~pow2 (idxf ()) in
@@ -538,7 +604,7 @@ let compile_store st (lv : Compiled.clvalue) (v : ex) ~nba : unit -> unit =
           let k = resolve ~size:w ~pow2 (idxf ()) in
           if k < 0 then Compiled.CWdropped else Compiled.CWbit (i, k, fb ())
         in
-        if nba then fun () -> push_pend st (Pboxed (mk ()))
+        if nba then fun () -> push_boxed st (mk ())
         else fun () -> Compiled.apply_write_notify st.env ~notify:st.notify (mk ())
   | Compiled.CLword (i, depth, ww, ix) ->
       let idxf = index_fn (lex st ~ctx:0 ix) in
@@ -548,19 +614,19 @@ let compile_store st (lv : Compiled.clvalue) (v : ex) ~nba : unit -> unit =
         let k = resolve ~size:depth ~pow2 (idxf ()) in
         if k < 0 then Compiled.CWdropped else Compiled.CWmem (i, k, fv ())
       in
-      if nba then fun () -> push_pend st (Pboxed (mk ()))
+      if nba then fun () -> push_boxed st (mk ())
       else fun () -> Compiled.apply_write_notify st.env ~notify:st.notify (mk ())
   | Compiled.CLrange (i, hi, lo) ->
       let w' = hi - lo + 1 in
       if st.imm.(i) then (
         let f = int_fn (resize_ex w' v) in
         let im = Imm.mask w' lsl lo in
-        if nba then fun () -> push_pend st (Pmask (i, im, f () lsl lo))
+        if nba then fun () -> push_flat st i im (f () lsl lo)
         else fun () -> store_imm st i (st.ints.(i) land lnot im lor (f () lsl lo)))
       else
         let f = bits_fn (resize_ex w' v) in
         if nba then
-          fun () -> push_pend st (Pboxed (Compiled.CWrange (i, hi, lo, f ())))
+          fun () -> push_boxed st (Compiled.CWrange (i, hi, lo, f ()))
         else
           fun () ->
             Compiled.apply_write_notify st.env ~notify:st.notify
@@ -576,7 +642,7 @@ let compile_store st (lv : Compiled.clvalue) (v : ex) ~nba : unit -> unit =
           (* resolve every leaf before applying any, matching
              [Compiled.resolve_write]'s resolve-then-apply split *)
           let pends = List.map (fun mk -> mk ()) mks in
-          if nba then st.pending <- List.rev_append pends st.pending
+          if nba then List.iter (push_pend st) pends
           else List.iter (apply_pend st) pends)
       else
         let fv = bits_fn (resize_ex total v) in
@@ -585,7 +651,7 @@ let compile_store st (lv : Compiled.clvalue) (v : ex) ~nba : unit -> unit =
         fun () ->
           curb := fv ();
           let pends = List.map (fun mk -> mk ()) mks in
-          if nba then st.pending <- List.rev_append pends st.pending
+          if nba then List.iter (push_pend st) pends
           else List.iter (apply_pend st) pends
 
 (* ------------------------------------------------------------------ *)
@@ -672,8 +738,85 @@ let lower_node st = function
 (* Construction                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Dirty-set scheduling                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Same adaptive thresholds as the event kernel: enter the dense sweep
+   once >= 3/4 of the plan ran in a settle for 8 settles in a row, drop
+   back to sparse once <= 1/4 of the plan changed value for 8 sweeps. *)
+let dense_enter_num = 3
+let dense_enter_den = 4
+let dense_exit_num = 1
+let dense_exit_den = 4
+let mode_streak_len = 8
+
+let mark_closure st c =
+  if not st.cdirty.(c) then (
+    st.cdirty.(c) <- true;
+    st.ncdirty <- st.ncdirty + 1)
+
+let rec mark_closures st = function
+  | [] -> ()
+  | c :: tl ->
+      mark_closure st c;
+      mark_closures st tl
+
+let mark_all_flags st =
+  Array.fill st.cdirty 0 (Array.length st.cdirty) true;
+  st.ncdirty <- Array.length st.cdirty
+
+(* Recompose [st.notify] from mode + external callback. Closures read
+   [st.notify] at call time, so rewiring mid-run is safe (the event
+   kernel relies on the same property in [Simulator.wire_notify]).
+   With an empty comb plan there is nothing the dirty bits could ever
+   skip, so writes bypass the marking wrapper entirely — sequential-only
+   designs must not pay for machinery that cannot help them. *)
+let rewire st =
+  if (not st.dirty_on) || Array.length st.plan = 0 then
+    st.notify <- st.ext_notify
+  else
+    let ext = st.ext_notify in
+    match st.lmode with
+    | Lsparse ->
+        st.notify <-
+          (fun i ->
+            ext i;
+            mark_closures st st.csens.(i))
+    | Ldense ->
+        (* change counting matters only inside the settle sweep (the
+           exit test's reset wipes anything counted between settles),
+           so keep the bare external notify installed and let [settle]
+           swap [dense_mark] in just around the sweep — sequential
+           commits then cost exactly what the plain kernel pays *)
+        st.dense_mark <-
+          (fun i ->
+            ext i;
+            st.lchanges <- st.lchanges + 1);
+        st.notify <- ext
+
+let set_notify st f =
+  st.ext_notify <- f;
+  rewire st
+
+(* Full scheduling reset (checkpoint restore): drop back to the sparse
+   worklist with everything pending, exactly as [Simulator.restore]
+   does for the event kernel, so a restored run re-derives the mode
+   trajectory from activity alone. No-op for the plain kernel. *)
+let mark_all st =
+  if st.dirty_on then (
+    st.lmode <- Lsparse;
+    st.lmode_streak <- 0;
+    rewire st;
+    mark_all_flags st)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                         *)
+(* ------------------------------------------------------------------ *)
+
 let create ~(tab : Compiled.tab) ~(env : Compiled.env) ~(finished : bool ref)
-    ~(nodes : node array) ~(fuse : bool array)
+    ~(nodes : node array) ~(fuse : bool array) ~(sens : int list array)
+    ~(display_ranks : int list) ~(dirty : bool)
     ~(seq : (Elaborate.clock_edge * Compiled.cstmt list) list) : t =
   let n = Compiled.n_signals tab in
   let ints = Array.make n 0 in
@@ -692,12 +835,25 @@ let create ~(tab : Compiled.tab) ~(env : Compiled.env) ~(finished : bool ref)
       imm;
       widths;
       finished;
+      dirty_on = dirty;
       notify = ignore;
-      pending = [];
+      ext_notify = ignore;
+      pb = [||];
+      pb_len = 0;
+      pboxed = [];
       displays = false;
       emit = ignore;
       plan = [||];
-      seqs = [];
+      seq_pos = [||];
+      seq_neg = [||];
+      csens = [||];
+      cdirty = [||];
+      ncdirty = 0;
+      disp_closures = [];
+      lmode = Lsparse;
+      lmode_streak = 0;
+      lchanges = 0;
+      dense_mark = (fun _ -> ());
       stats =
         {
           lw_nodes = Array.length nodes;
@@ -705,25 +861,64 @@ let create ~(tab : Compiled.tab) ~(env : Compiled.env) ~(finished : bool ref)
           lw_fused = 0;
           lw_imm = n_imm;
           lw_boxed = n - n_imm;
+          lw_seq = List.length seq;
+          lw_dirty = dirty;
+        };
+      runs =
+        {
+          rs_settles = 0;
+          rs_closures_run = 0;
+          rs_closures_skipped = 0;
+          rs_edges = 0;
+          rs_commit_imm = 0;
+          rs_commit_boxed = 0;
         };
     }
   in
   let closures = Array.map (lower_node st) nodes in
   (* fuse single-reader assign chains: a node marked fuse.(r) folds into
      its predecessor's closure, halving plan-iteration overhead on long
-     assign chains *)
-  let plan = ref [] and nfused = ref 0 in
+     assign chains. [cidx] records which plan closure each node rank
+     landed in, so rank-level sensitivity lifts to the closure level. *)
+  let nnodes = Array.length closures in
+  let cidx = Array.make (max nnodes 1) 0 in
+  let plan = ref [] and nfused = ref 0 and nplan = ref 0 in
   Array.iteri
     (fun r c ->
       if r > 0 && fuse.(r) then (
         incr nfused;
-        match !plan with
+        (match !plan with
         | prev :: tl -> plan := seq2 prev c :: tl
-        | [] -> plan := [ c ])
-      else plan := c :: !plan)
+        | [] ->
+            plan := [ c ];
+            incr nplan);
+        cidx.(r) <- !nplan - 1)
+      else (
+        plan := c :: !plan;
+        cidx.(r) <- !nplan;
+        incr nplan))
     closures;
   st.plan <- Array.of_list (List.rev !plan);
-  st.seqs <- List.map (fun (edge, body) -> (edge, lseq st ~in_comb:false body)) seq;
+  let lower_edge edge =
+    List.filter_map
+      (fun (e, body) -> if e = edge then Some (lseq st ~in_comb:false body) else None)
+      seq
+    |> Array.of_list
+  in
+  st.seq_pos <- lower_edge Elaborate.Pos;
+  st.seq_neg <- lower_edge Elaborate.Neg;
+  if dirty then (
+    let nclosures = Array.length st.plan in
+    st.cdirty <- Array.make (max nclosures 1) true;
+    st.ncdirty <- nclosures;
+    st.csens <-
+      Array.map
+        (fun ranks ->
+          List.sort_uniq compare (List.map (fun r -> cidx.(r)) ranks))
+        sens;
+    st.disp_closures <-
+      List.sort_uniq compare (List.map (fun r -> cidx.(r)) display_ranks));
+  rewire st;
   st.stats <-
     { st.stats with lw_closures = Array.length st.plan; lw_fused = !nfused };
   st
@@ -732,24 +927,112 @@ let create ~(tab : Compiled.tab) ~(env : Compiled.env) ~(finished : bool ref)
 (* Execution                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Full sweep over the plan; returns the closure count. *)
+let sweep st =
+  let plan = st.plan in
+  let n = Array.length plan in
+  for i = 0 to n - 1 do
+    plan.(i) ()
+  done;
+  n
+
+(* One settle pass. Returns the number of closures evaluated (the whole
+   plan for the plain kernel and for dense-mode sweeps). Dirty flags
+   set during the pass (by writes this settle performs) stay pending
+   for the next settle — same monotone-convergence argument as the
+   event kernel's sparse loop: the simulator keeps settling until a
+   pass reports no work. *)
 let settle st ~displays =
   st.displays <- displays;
-  let plan = st.plan in
-  for i = 0 to Array.length plan - 1 do
-    plan.(i) ()
-  done
+  let r = st.runs in
+  r.rs_settles <- r.rs_settles + 1;
+  if not st.dirty_on then (
+    let n = sweep st in
+    r.rs_closures_run <- r.rs_closures_run + n;
+    n)
+  else
+    match st.lmode with
+    | Ldense ->
+        st.lchanges <- 0;
+        st.notify <- st.dense_mark;
+        let n = sweep st in
+        st.notify <- st.ext_notify;
+        r.rs_closures_run <- r.rs_closures_run + n;
+        if dense_exit_den * st.lchanges <= dense_exit_num * n then (
+          st.lmode_streak <- st.lmode_streak + 1;
+          if st.lmode_streak >= mode_streak_len then
+            (* activity dropped: back to sparse; flags are stale after
+               dense sweeps, so re-mark everything once *)
+            mark_all st)
+        else st.lmode_streak <- 0;
+        n
+    | Lsparse ->
+        (* $display side effects must fire even when inputs are stable,
+           exactly like the event kernel's display-rank forcing *)
+        if displays then mark_closures st st.disp_closures;
+        let plan = st.plan in
+        let n = Array.length plan in
+        let evaluated = ref 0 in
+        if st.ncdirty > 0 then (
+          let cdirty = st.cdirty in
+          for c = 0 to n - 1 do
+            if cdirty.(c) then (
+              cdirty.(c) <- false;
+              st.ncdirty <- st.ncdirty - 1;
+              incr evaluated;
+              plan.(c) ())
+          done);
+        let ev = !evaluated in
+        r.rs_closures_run <- r.rs_closures_run + ev;
+        r.rs_closures_skipped <- r.rs_closures_skipped + (n - ev);
+        (* an empty settle is sparse operating at zero cost — it says
+           nothing about how dense the actual work is, so it leaves the
+           streak alone; only a busy-but-not-dense settle resets it.
+           Without this, designs whose activity arrives every other
+           settle (pure sequential commits marking a handful of
+           closures) could never accumulate a streak. *)
+        if n > 0 && dense_enter_den * ev >= dense_enter_num * n then (
+          st.lmode_streak <- st.lmode_streak + 1;
+          if st.lmode_streak >= mode_streak_len then (
+            st.lmode <- Ldense;
+            st.lmode_streak <- 0;
+            rewire st))
+        else if ev > 0 then st.lmode_streak <- 0;
+        ev
 
 let run_edge st edge =
-  List.iter (fun (e, f) -> if e = edge then f ()) st.seqs
+  let arr = match edge with Elaborate.Pos -> st.seq_pos | Elaborate.Neg -> st.seq_neg in
+  for i = 0 to Array.length arr - 1 do
+    arr.(i) ()
+  done;
+  st.runs.rs_edges <- st.runs.rs_edges + Array.length arr
 
-let pending_count st = List.length st.pending
+let pending_count st = (st.pb_len / 3) + List.length st.pboxed
 
-(* Commit deferred non-blocking writes in program order (the pending
-   list is reversed, as in the reference executor). *)
+(* Commit deferred non-blocking writes: the flat immediate buffer in
+   push order, then boxed writes in program order (the boxed list is
+   reversed, as in the reference executor). Per-signal last-write-wins
+   is preserved because a signal's writes always land in one buffer. *)
 let commit st =
-  let ps = List.rev st.pending in
-  st.pending <- [];
-  List.iter (apply_pend st) ps
+  let n = st.pb_len in
+  if n > 0 then (
+    st.runs.rs_commit_imm <- st.runs.rs_commit_imm + (n / 3);
+    let b = st.pb in
+    let i = ref 0 in
+    while !i < n do
+      let id = b.(!i) in
+      store_imm st id (st.ints.(id) land lnot b.(!i + 1) lor b.(!i + 2));
+      i := !i + 3
+    done;
+    st.pb_len <- 0);
+  match st.pboxed with
+  | [] -> ()
+  | ps ->
+      st.runs.rs_commit_boxed <- st.runs.rs_commit_boxed + List.length ps;
+      st.pboxed <- [];
+      List.iter
+        (fun w -> Compiled.apply_write_notify st.env ~notify:st.notify w)
+        (List.rev ps)
 
 (* ------------------------------------------------------------------ *)
 (* External state access                                                *)
@@ -785,5 +1068,14 @@ let input_fn st (e : Compiled.cexpr) : unit -> Bits.t =
   bits_fn (lex st ~ctx:0 e)
 
 let set_emit st f = st.emit <- f
-let set_notify st f = st.notify <- f
 let stats st = st.stats
+let run_stats st = st.runs
+let plan_size st = Array.length st.plan
+
+(* Closures currently pending: the sparse worklist size, or the whole
+   plan when not skipping (dense sweeps and the plain kernel evaluate
+   everything). *)
+let dirty_count st =
+  if st.dirty_on && st.lmode = Lsparse then st.ncdirty else Array.length st.plan
+
+let dense st = st.dirty_on && st.lmode = Ldense

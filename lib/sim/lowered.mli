@@ -7,7 +7,16 @@
     and every vector signal of width [<= 63] lives unboxed in a dense
     [int array] bank ({!Fpga_bits.Bits.Imm}), masked on write. Wide
     vectors and memories stay in limb form in the shared
-    {!Compiled.env}.
+    {!Compiled.env}. Sequential always-blocks are lowered the same way,
+    with non-blocking writes deferred into a flat int-triple commit
+    buffer (boxed/memory targets overflow into a side list).
+
+    With [dirty = true] the kernel additionally schedules closures by
+    a per-closure dirty worklist fed from a closure-level sensitivity
+    index (the event kernel's change-driven skipping composed with
+    closure-array dispatch), with the same adaptive sparse/dense
+    hysteresis as the event kernel so fully-active plans pay no flag
+    traffic.
 
     Semantics are bit-identical to the reference executor: same width
     rules, same out-of-range index handling, same non-blocking commit
@@ -22,6 +31,19 @@ type stats = {
   lw_fused : int;  (** nodes folded into a predecessor closure *)
   lw_imm : int;  (** signals held in the immediate int bank *)
   lw_boxed : int;  (** signals kept in limb form (wide vecs + mems) *)
+  lw_seq : int;  (** sequential always-blocks lowered to closures *)
+  lw_dirty : bool;  (** dirty-set (worklist) scheduling enabled *)
+}
+
+(** Runtime counters, maintained unconditionally (a handful of int
+    stores per settle/commit, never per node). *)
+type run_stats = {
+  mutable rs_settles : int;  (** settle passes *)
+  mutable rs_closures_run : int;  (** closures evaluated *)
+  mutable rs_closures_skipped : int;  (** skipped by dirty scheduling *)
+  mutable rs_edges : int;  (** sequential block invocations *)
+  mutable rs_commit_imm : int;  (** flat-buffer (unboxed) NBA commits *)
+  mutable rs_commit_boxed : int;  (** boxed NBA commits, drops included *)
 }
 
 type t
@@ -37,19 +59,29 @@ val create :
   finished:bool ref ->
   nodes:node array ->
   fuse:bool array ->
+  sens:int list array ->
+  display_ranks:int list ->
+  dirty:bool ->
   seq:(Elaborate.clock_edge * Compiled.cstmt list) list ->
   t
 (** [fuse.(r)] marks a node to be folded into its predecessor's closure
     (legal only for single-reader assign chains — the caller proves
     it); [finished] is shared with the simulator's $finish flag and
     checked before every lowered statement. Immediate-bank values are
-    seeded from [env]. *)
+    seeded from [env]. [sens] maps signal id to the ranks of reading
+    nodes and [display_ranks] lists ranks of comb blocks containing
+    [$display]; both are lifted to the closure level when [dirty] is
+    set (and ignored otherwise). *)
 
 (** {1 Execution} *)
 
-val settle : t -> displays:bool -> unit
-(** One full sweep of the fused plan in topological order. [displays]
-    gates combinational [$display]s, as in the reference settle. *)
+val settle : t -> displays:bool -> int
+(** One settle pass over the fused plan in topological order; returns
+    the number of closures evaluated (the whole plan unless dirty-set
+    scheduling skipped some). [displays] gates combinational
+    [$display]s, as in the reference settle; under dirty scheduling,
+    display closures are forced onto the worklist for display-enabled
+    settles so logs stay identical. *)
 
 val run_edge : t -> Elaborate.clock_edge -> unit
 (** Run the sequential blocks for one clock edge; non-blocking writes
@@ -60,8 +92,27 @@ val pending_count : t -> int
     writes included, matching the reference's commit statistics). *)
 
 val commit : t -> unit
-(** Apply deferred non-blocking writes in program order with change
-    detection and notification. *)
+(** Apply deferred non-blocking writes with change detection and
+    notification: the flat immediate buffer in push order, then boxed
+    writes in program order. Per-signal ordering is exact (a signal's
+    writes always land in one buffer). *)
+
+(** {1 Dirty-set scheduling} *)
+
+val mark_all : t -> unit
+(** Reset the dirty scheduler: back to the sparse worklist with every
+    closure pending (checkpoint restore). No-op unless [dirty]. *)
+
+val dirty_count : t -> int
+(** Closures currently pending: the sparse worklist size, or the whole
+    plan when not skipping (dense mode and the plain kernel). *)
+
+val dense : t -> bool
+(** Whether dirty scheduling is currently in the dense full-sweep
+    mode. Always [false] for the plain kernel. *)
+
+val plan_size : t -> int
+(** Number of closures in the fused settle plan. *)
 
 (** {1 State access} *)
 
@@ -84,6 +135,8 @@ val set_emit : t -> (string -> unit) -> unit
 (** Wire the [$display] sink (the simulator's log/telemetry path). *)
 
 val set_notify : t -> (int -> unit) -> unit
-(** Wire the change callback (toggle counting under telemetry). *)
+(** Wire the external change callback (toggle counting under
+    telemetry); dirty marking is composed on top internally. *)
 
 val stats : t -> stats
+val run_stats : t -> run_stats

@@ -37,29 +37,31 @@ open Elaborate
 
 exception Combinational_cycle of string list
 
-type kernel = Event_driven | Brute_force | Lowered
+type kernel = Event_driven | Brute_force | Lowered | Lowered_dirty
 
 let kernel_name = function
   | Event_driven -> "event"
   | Brute_force -> "brute"
   | Lowered -> "lowered"
+  | Lowered_dirty -> "lowered-dirty"
 
 let kernel_of_string = function
   | "event" -> Some Event_driven
   | "brute" | "brute-force" -> Some Brute_force
   | "lowered" -> Some Lowered
+  | "lowered-dirty" | "lowered_dirty" -> Some Lowered_dirty
   | _ -> None
 
-(* Auto-selection threshold: the lowered kernel sweeps the full fused
-   plan every settle, so on huge, mostly-idle combinational plans the
-   event kernel's dirty set can still win. Below this plan size the
-   per-node cost of lowered closures is so small that sweeping always
-   beats the event machinery (measured: every testbed design, including
-   the 65-node idle design, is faster lowered). *)
+(* Auto-selection threshold, kept as a guard against pathological plan
+   sizes where construction-time lowering cost (one closure tree per
+   node) could outweigh its benefit. Within the bound the dirty lowered
+   kernel dominates: it has the lowered kernel's closure dispatch and
+   the event kernel's change-driven skipping, and its adaptive dense
+   mode degenerates to the plain sweep on fully-active plans. *)
 let auto_lowered_max_nodes = 4096
 
 let auto_kernel ~comb_nodes =
-  if comb_nodes <= auto_lowered_max_nodes then Lowered else Event_driven
+  if comb_nodes <= auto_lowered_max_nodes then Lowered_dirty else Event_driven
 
 (* The event-driven kernel's adaptive execution mode. [Sparse] is the
    dirty-set schedule. On designs where nearly every node fires every
@@ -158,7 +160,7 @@ type t = {
   mutable notify : int -> unit;  (* change callback wired to [mark_signal] *)
   seq : (Elaborate.clock_edge * Compiled.cstmt list) list;
   prims : prim_state list;
-  low : Lowered.t option;  (* present iff [kernel = Lowered] *)
+  low : Lowered.t option;  (* present iff [kernel] is a lowered variant *)
   mutable cycle : int;
   finished : bool ref;  (* shared with the lowered kernel's $finish *)
   mutable log : (int * string) list;  (* newest first *)
@@ -201,8 +203,8 @@ let mark_all sim =
    counts value changes for the mode-exit test. *)
 let wire_notify sim =
   (match (sim.kernel, sim.mode, sim.stats) with
-  | (Brute_force | Lowered), _, None -> sim.notify <- ignore
-  | (Brute_force | Lowered), _, Some st ->
+  | (Brute_force | Lowered | Lowered_dirty), _, None -> sim.notify <- ignore
+  | (Brute_force | Lowered | Lowered_dirty), _, Some st ->
       sim.notify <- (fun i -> st.s_toggles.(i) <- st.s_toggles.(i) + 1)
   (* no combinational plan, nothing to mark: purely sequential designs
      (D4, D8) must not pay any event-kernel change-tracking at all *)
@@ -533,7 +535,8 @@ let create ?kernel (flat : flat) : t =
   in
   let finished = ref false in
   let low =
-    if kernel <> Lowered then None
+    let lowered = match kernel with Lowered | Lowered_dirty -> true | _ -> false in
+    if not lowered then None
     else begin
       (* single-reader assign chains fuse into one closure: when node
          r-1 is a plain assign whose sole written signal feeds exactly
@@ -559,7 +562,9 @@ let create ?kernel (flat : flat) : t =
             | Cblock ss -> Lowered.Lblock ss)
           nodes
       in
-      Some (Lowered.create ~tab ~env ~finished ~nodes:lnodes ~fuse ~seq)
+      Some
+        (Lowered.create ~tab ~env ~finished ~nodes:lnodes ~fuse ~sens
+           ~display_ranks:display_nodes ~dirty:(kernel = Lowered_dirty) ~seq)
     end
   in
   let input_closure ce =
@@ -632,8 +637,8 @@ let exec_node ctx node =
       Compiled.write_notify ctx.sim.env ~notify:ctx.sim.notify l v
   | Cblock stmts -> List.iter (exec_stmt ctx) stmts
 
-(* Full-sweep settle statistics, shared by the brute-force and lowered
-   kernels: every node counts as considered, evaluated, and dirty. *)
+(* Full-sweep settle statistics for the brute-force kernel: every node
+   counts as considered, evaluated, and dirty. *)
 let full_sweep_stats sim =
   match sim.stats with
   | None -> ()
@@ -648,10 +653,25 @@ let full_sweep_stats sim =
 
 let settle ?(displays = false) (sim : t) =
   match sim.kernel with
-  | Lowered ->
-      full_sweep_stats sim;
-      (match sim.low with
-      | Some low -> Lowered.settle low ~displays
+  | Lowered | Lowered_dirty -> (
+      match sim.low with
+      | Some low -> (
+          match sim.stats with
+          | None -> ignore (Lowered.settle low ~displays)
+          | Some st ->
+              (* lowered kernels count in fused closures, not nodes:
+                 that is the unit the plan actually iterates, so
+                 evaluated/rounds is an honest skip rate. Dirty size is
+                 read at settle entry (display forcing happens inside). *)
+              let n = Lowered.plan_size low in
+              let pre = Lowered.dirty_count low in
+              let ev = Lowered.settle low ~displays in
+              st.s_settles <- st.s_settles + 1;
+              st.s_node_rounds <- st.s_node_rounds + n;
+              st.s_nodes_evaluated <- st.s_nodes_evaluated + ev;
+              st.s_dirty_total <- st.s_dirty_total + pre;
+              if pre > st.s_dirty_peak then st.s_dirty_peak <- pre;
+              Telemetry.Histogram.observe st.s_settle_hist ev)
       | None -> assert false)
   | Brute_force ->
       full_sweep_stats sim;
@@ -870,10 +890,17 @@ let step (sim : t) =
              cadence as the bus event (no per-cycle cost) *)
           if Telemetry.Trace.enabled () then (
             let b = Telemetry.bus () in
-            Telemetry.Trace.counter "sim.dirty" sim.ndirty;
+            Telemetry.Trace.counter "sim.dirty"
+              (match sim.low with
+              | Some low -> Lowered.dirty_count low
+              | None -> sim.ndirty);
             Telemetry.Trace.counter "sim.evaluated" delta;
             Telemetry.Trace.counter "sim.dense"
-              (if sim.kernel = Event_driven && sim.mode = Dense then 1 else 0);
+              (if
+                 (sim.kernel = Event_driven && sim.mode = Dense)
+                 || match sim.low with Some low -> Lowered.dense low | None -> false
+               then 1
+               else 0);
             Telemetry.Trace.counter "bus.published"
               (Telemetry.Bus.published b - st.s_bus_pub0);
             Telemetry.Trace.counter "bus.dropped"
@@ -943,7 +970,11 @@ let stats sim =
       })
     sim.stats
 
-let dense_mode sim = sim.kernel = Event_driven && sim.mode = Dense
+let dense_mode sim =
+  (sim.kernel = Event_driven && sim.mode = Dense)
+  || match sim.low with Some low -> Lowered.dense low | None -> false
+
+let lowered_run_stats sim = Option.map Lowered.run_stats sim.low
 
 let kernel_efficiency sim =
   match sim.stats with
@@ -1074,7 +1105,8 @@ let restore (sim : t) (snap : checkpoint) : unit =
   sim.mode <- Sparse;
   sim.mode_streak <- 0;
   wire_notify sim;
-  mark_all sim
+  mark_all sim;
+  Option.iter Lowered.mark_all sim.low
 
 (* ------------------------------------------------------------------ *)
 (* Serializable checkpoints                                            *)
@@ -1199,6 +1231,7 @@ let restore_checkpoint (sim : t) (ck : Checkpoint.t) : unit =
   sim.mode_streak <- 0;
   wire_notify sim;
   mark_all sim;
+  Option.iter Lowered.mark_all sim.low;
   (* primitive outputs must reflect the restored contents before the
      next settle, exactly as [create] does for the initial state *)
   List.iter (drive_prim_outputs sim) sim.prims

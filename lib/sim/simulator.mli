@@ -44,12 +44,20 @@ type kernel =
           fused [unit -> unit] closure, narrow signals unboxed in a
           dense int bank ({!Lowered}); sweeps the full fused plan every
           settle *)
+  | Lowered_dirty
+      (** the closure-array kernel composed with event-style skipping:
+          per-closure dirty bits fed from a closure-level sensitivity
+          index, with the event kernel's adaptive sparse/dense
+          hysteresis, so idle plans skip and fully-active plans pay no
+          flag traffic *)
 
 val kernel_name : kernel -> string
-(** ["event"], ["brute"], or ["lowered"] — the CLI spelling. *)
+(** ["event"], ["brute"], ["lowered"], or ["lowered-dirty"] — the CLI
+    spelling. *)
 
 val kernel_of_string : string -> kernel option
-(** Inverse of {!kernel_name} (also accepts ["brute-force"]). *)
+(** Inverse of {!kernel_name} (also accepts ["brute-force"] and
+    ["lowered_dirty"]). *)
 
 type t
 
@@ -57,9 +65,9 @@ val create : ?kernel:kernel -> Elaborate.flat -> t
 (** Build a simulator with all registers at their declared initial
     values (zero by default) and primitive outputs settled. When
     [kernel] is omitted it is selected automatically from the plan
-    shape: {!Lowered} for any design whose combinational plan fits the
-    full-sweep budget (every current testbed design), {!Event_driven}
-    for very large, mostly-idle plans. All kernels produce
+    shape: {!Lowered_dirty} for any design whose combinational plan
+    fits the lowering budget (every current testbed design),
+    {!Event_driven} for very large plans. All kernels produce
     byte-identical traces. *)
 
 val kernel : t -> kernel
@@ -135,20 +143,28 @@ val stats : t -> stats option
 (** [None] when telemetry was disabled at construction. *)
 
 val dense_mode : t -> bool
-(** True while the event-driven kernel is in its dense full-scan
-    fallback (always false for {!Brute_force} and {!Lowered}). Exposed
-    for tests and profiling; mode switches never change simulation
-    results. *)
+(** True while the event-driven or dirty-lowered kernel is in its dense
+    full-scan fallback (always false for {!Brute_force} and plain
+    {!Lowered}). Exposed for tests and profiling; mode switches never
+    change simulation results. *)
 
 val lowering_stats : t -> Lowered.stats option
 (** Closure/representation counts from the lowering pass; [None] unless
-    the kernel is {!Lowered}. Always available (not telemetry-gated) —
-    the numbers are static facts of the compiled plan. *)
+    the kernel is a lowered variant. Always available (not
+    telemetry-gated) — the numbers are static facts of the compiled
+    plan. *)
+
+val lowered_run_stats : t -> Lowered.run_stats option
+(** Runtime counters of the lowered kernels (closures run/skipped,
+    commit-buffer occupancy); [None] unless the kernel is a lowered
+    variant. Always maintained (a few int stores per settle, never per
+    node), so available even without telemetry. *)
 
 val kernel_efficiency : t -> float option
 (** [st_nodes_evaluated / st_node_rounds] — the fraction of full-sweep
-    work the event-driven kernel actually performed (1.0 for
-    {!Brute_force}). [None] when telemetry is off or nothing ran. *)
+    work the kernel actually performed (1.0 for {!Brute_force}; for
+    lowered kernels both counts are in fused closures). [None] when
+    telemetry is off or nothing ran. *)
 
 val toggle_counts : t -> (string * int) list
 (** Per-signal change counts (every change-detected write that took

@@ -166,7 +166,12 @@ let prop_replay_deterministic =
       triple
         (oneofl property_bugs)
         (oneofl
-           [ Simulator.Event_driven; Simulator.Brute_force; Simulator.Lowered ])
+           [
+             Simulator.Event_driven;
+             Simulator.Brute_force;
+             Simulator.Lowered;
+             Simulator.Lowered_dirty;
+           ])
         (int_range 5 60))
     (fun (id, kernel, every) ->
       replay_matches_straight ~kernel ~every (bug id))
@@ -178,7 +183,12 @@ let test_replay_d2_both_kernels () =
     (fun kernel ->
       check_bool "D2 deterministic" true
         (replay_matches_straight ~kernel ~every:50 (bug "D2")))
-    [ Simulator.Event_driven; Simulator.Brute_force; Simulator.Lowered ]
+    [
+      Simulator.Event_driven;
+      Simulator.Brute_force;
+      Simulator.Lowered;
+      Simulator.Lowered_dirty;
+    ]
 
 (* Checkpoints are kernel-agnostic: a snapshot taken under one settle
    kernel restores into a simulator built with another, and the
@@ -219,7 +229,13 @@ let test_checkpoint_crosses_kernels () =
       cross ~record_kernel:Simulator.Event_driven
         ~replay_kernel:Simulator.Lowered b;
       cross ~record_kernel:Simulator.Lowered
-        ~replay_kernel:Simulator.Brute_force b)
+        ~replay_kernel:Simulator.Brute_force b;
+      cross ~record_kernel:Simulator.Lowered_dirty
+        ~replay_kernel:Simulator.Event_driven b;
+      cross ~record_kernel:Simulator.Event_driven
+        ~replay_kernel:Simulator.Lowered_dirty b;
+      cross ~record_kernel:Simulator.Lowered_dirty
+        ~replay_kernel:Simulator.Lowered b)
     [ "D2"; "C4" ]
 
 (* --- bisection ------------------------------------------------------- *)

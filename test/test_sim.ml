@@ -711,20 +711,26 @@ let test_event_kernel_matches_brute_force () =
       let ev = Simulator.create ~kernel:Simulator.Event_driven flat in
       let bf = Simulator.create ~kernel:Simulator.Brute_force flat in
       let lw = Simulator.create ~kernel:Simulator.Lowered flat in
+      let ld = Simulator.create ~kernel:Simulator.Lowered_dirty flat in
       for i = 0 to 199 do
         let ins = bug.Fpga_testbed.Bug.stimulus i in
         List.iter (fun (n, v) -> Simulator.set_input ev n v) ins;
         List.iter (fun (n, v) -> Simulator.set_input bf n v) ins;
         List.iter (fun (n, v) -> Simulator.set_input lw n v) ins;
+        List.iter (fun (n, v) -> Simulator.set_input ld n v) ins;
         Simulator.step ev;
         Simulator.step bf;
         Simulator.step lw;
+        Simulator.step ld;
         if signal_state flat ev <> signal_state flat bf then
           Alcotest.failf "%s: event/brute signal state diverges at cycle %d"
             id i;
         if signal_state flat lw <> signal_state flat bf then
           Alcotest.failf "%s: lowered/brute signal state diverges at cycle %d"
-            id i
+            id i;
+        if signal_state flat ld <> signal_state flat bf then
+          Alcotest.failf
+            "%s: lowered-dirty/brute signal state diverges at cycle %d" id i
       done;
       check_bool
         (Printf.sprintf "%s: finished flags agree" id)
@@ -732,16 +738,21 @@ let test_event_kernel_matches_brute_force () =
       check_bool
         (Printf.sprintf "%s: lowered finished flag agrees" id)
         (Simulator.finished bf) (Simulator.finished lw);
+      check_bool
+        (Printf.sprintf "%s: lowered-dirty finished flag agrees" id)
+        (Simulator.finished bf) (Simulator.finished ld);
       if Simulator.log ev <> Simulator.log bf then
         Alcotest.failf "%s: $display log diverges" id;
       if Simulator.log lw <> Simulator.log bf then
-        Alcotest.failf "%s: lowered $display log diverges" id)
+        Alcotest.failf "%s: lowered $display log diverges" id;
+      if Simulator.log ld <> Simulator.log bf then
+        Alcotest.failf "%s: lowered-dirty $display log diverges" id)
     [ "D2"; "D4"; "D8"; "C4" ]
 
-(* Full-testbed three-way differential through the harness: every bug,
+(* Full-testbed four-way differential through the harness: every bug,
    both design variants, identical reports — rows, log, flags, cycle
-   counts, and the complete VCD waveform — under all three kernels. *)
-let test_three_kernels_full_testbed () =
+   counts, and the complete VCD waveform — under all four kernels. *)
+let test_four_kernels_full_testbed () =
   List.iter
     (fun (bug : Fpga_testbed.Bug.t) ->
       List.iter
@@ -769,7 +780,7 @@ let test_three_kernels_full_testbed () =
                 (r.Fpga_testbed.Bug.stuck = bf.Fpga_testbed.Bug.stuck
                 && r.Fpga_testbed.Bug.finished = bf.Fpga_testbed.Bug.finished
                 && r.Fpga_testbed.Bug.cycles = bf.Fpga_testbed.Bug.cycles))
-            [ Simulator.Event_driven; Simulator.Lowered ])
+            [ Simulator.Event_driven; Simulator.Lowered; Simulator.Lowered_dirty ])
         [ true; false ])
     Fpga_testbed.Registry.all
 
@@ -794,8 +805,11 @@ endmodule
     Simulator.log sim
   in
   let ev = run Simulator.Event_driven and bf = run Simulator.Brute_force in
+  let lw = run Simulator.Lowered and ld = run Simulator.Lowered_dirty in
   check_int "one entry per cycle" 5 (List.length ev);
-  check_bool "logs identical across kernels" true (ev = bf)
+  check_bool "logs identical across kernels" true (ev = bf);
+  check_bool "lowered log identical" true (lw = bf);
+  check_bool "lowered-dirty log identical" true (ld = bf)
 
 let test_event_kernel_idle_design () =
   (* constant input: after the pipeline fills, nothing changes; the
@@ -901,15 +915,90 @@ let test_dense_mode_exits_when_quiet () =
       (Simulator.read_int bf "q") (Simulator.read_int ev "q")
   done
 
+let test_dirty_kernel_skips_on_idle_design () =
+  (* the dirty lowered kernel's whole point: once an idle pipeline
+     settles, its closures stop running — and the values still match
+     the full sweep cycle for cycle *)
+  let src =
+    {|
+module top (input clk, input [7:0] d, output [7:0] q);
+  reg [7:0] r1, r2, r3;
+  wire [7:0] w1, w2;
+  assign w1 = r3 + 8'd1;
+  assign w2 = w1 ^ r2;
+  assign q = w2;
+  always @(posedge clk) begin
+    r1 <= d;
+    r2 <= r1;
+    r3 <= r2;
+  end
+endmodule
+|}
+  in
+  let ld = Testbench.of_source ~kernel:Simulator.Lowered_dirty ~top:"top" src in
+  let bf = Testbench.of_source ~kernel:Simulator.Brute_force ~top:"top" src in
+  Simulator.set_input ld "d" (b 8 0x2A);
+  Simulator.set_input bf "d" (b 8 0x2A);
+  for i = 0 to 99 do
+    Simulator.step ld;
+    Simulator.step bf;
+    check_int
+      (Printf.sprintf "q agrees at cycle %d" i)
+      (Simulator.read_int bf "q") (Simulator.read_int ld "q")
+  done;
+  let rs = Option.get (Simulator.lowered_run_stats ld) in
+  check_bool "idle settles skip closures" true
+    (rs.Fpga_sim.Lowered.rs_closures_skipped > rs.Fpga_sim.Lowered.rs_closures_run);
+  (* the plain lowered kernel never skips *)
+  let lw = Testbench.of_source ~kernel:Simulator.Lowered ~top:"top" src in
+  Simulator.set_input lw "d" (b 8 0x2A);
+  Simulator.run lw 100;
+  let rsp = Option.get (Simulator.lowered_run_stats lw) in
+  check_int "plain lowered skips nothing" 0
+    rsp.Fpga_sim.Lowered.rs_closures_skipped
+
+let test_dirty_kernel_dense_roundtrip () =
+  (* churn drives the dirty lowered kernel into its dense full-sweep
+     mode, idling drops it back out, and the values track the sweep
+     the whole way — same adaptive contract as the event kernel *)
+  let ld = Testbench.of_source ~kernel:Simulator.Lowered_dirty ~top:"top" dense_src in
+  let bf = Testbench.of_source ~kernel:Simulator.Brute_force ~top:"top" dense_src in
+  let drive sim d =
+    Simulator.set_input sim "d" (b 8 d);
+    Simulator.step sim
+  in
+  check_bool "starts sparse" false (Simulator.dense_mode ld);
+  for i = 0 to 29 do
+    let d = ((i * 37) + 1) land 0xff in
+    drive ld d;
+    drive bf d;
+    check_int
+      (Printf.sprintf "q agrees at burst cycle %d" i)
+      (Simulator.read_int bf "q") (Simulator.read_int ld "q")
+  done;
+  check_bool "burst engages dense mode" true (Simulator.dense_mode ld);
+  for i = 0 to 29 do
+    drive ld 0;
+    drive bf 0;
+    check_int
+      (Printf.sprintf "q agrees during idle cycle %d" i)
+      (Simulator.read_int bf "q") (Simulator.read_int ld "q")
+  done;
+  check_bool "idle drops back to sparse" false (Simulator.dense_mode ld)
+
 let suite =
   suite
   @ [
       Alcotest.test_case "event kernel == brute force (testbed, 200 cycles)"
         `Quick test_event_kernel_matches_brute_force;
-      Alcotest.test_case "three kernels identical over the full testbed"
-        `Slow test_three_kernels_full_testbed;
+      Alcotest.test_case "four kernels identical over the full testbed"
+        `Slow test_four_kernels_full_testbed;
       Alcotest.test_case "comb $display fires every cycle" `Quick
         test_comb_display_fires_every_cycle;
+      Alcotest.test_case "dirty lowered kernel skips on idle design" `Quick
+        test_dirty_kernel_skips_on_idle_design;
+      Alcotest.test_case "dirty lowered kernel dense round trip" `Quick
+        test_dirty_kernel_dense_roundtrip;
       Alcotest.test_case "event kernel on idle design" `Quick
         test_event_kernel_idle_design;
       Alcotest.test_case "dense mode engages on full-plan activity" `Quick

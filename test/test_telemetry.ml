@@ -371,7 +371,7 @@ let test_profile_json () =
   List.iter
     (fun key -> check_bool key true (contains json key))
     [
-      "\"schema\": \"fpga-debug-profile/1\"";
+      "\"schema\": \"fpga-debug-profile/2\"";
       "\"kernel_stats\"";
       "\"kernel_efficiency\"";
       "\"nodes_skipped\"";
@@ -380,6 +380,12 @@ let test_profile_json () =
       "\"phases\"";
       "\"bus\"";
       "\"dropped\"";
+      (* schema /2: lowered section (auto kernel is a lowered variant
+         on every testbed design) *)
+      "\"lowered\"";
+      "\"closures_run\"";
+      "\"skip_rate\"";
+      "\"commit_per_edge\"";
     ];
   check_bool "hottest signals present" true
     (p.Fpga_report.Profile.p_hottest <> [])
